@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment benchmarks (see DESIGN.md §4).
+
+Each ``test_eXX_*`` module regenerates one experiment row/series from the
+paper: it prints the table it reproduces (visible in the pytest output via
+``emit``) and asserts the claim's *shape* — who wins, which regions are
+stable, where the crossover sits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import ModelParameters
+
+
+def emit(text: str) -> None:
+    """Print a results table so it survives pytest's capture settings."""
+    print()
+    print(text)
+
+
+@pytest.fixture
+def emit_table(capsys):
+    """Yield a printer that bypasses output capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit
+
+
+@pytest.fixture
+def profitable_params() -> ModelParameters:
+    """A parameterisation where joining the PCN is clearly profitable."""
+    return ModelParameters(
+        onchain_cost=0.4,
+        opportunity_rate=0.001,
+        fee_avg=1.0,
+        fee_out_avg=0.05,
+        total_tx_rate=100.0,
+        user_tx_rate=1.0,
+        zipf_s=1.0,
+    )

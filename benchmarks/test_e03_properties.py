@@ -1,0 +1,107 @@
+"""E3 — Theorems 1-3: empirical property validation of the objective.
+
+Prints the violation counts per (objective, revenue mode): under the
+paper's fixed-λ assumption, U/U'/U^b are submodular and U' is monotone
+(zero violations); with exact betweenness revenue, submodularity fails —
+the documented deviation (DESIGN.md §6).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.properties import (
+    check_monotonicity,
+    check_submodularity,
+    find_negative_utility_example,
+)
+from repro.core.strategy import ActionSpace
+from repro.core.utility import JoiningUserModel
+from repro.params import ModelParameters
+from repro.snapshots.synthetic import barabasi_albert_snapshot
+
+TRIALS = 150
+
+
+def build(revenue_mode: str, user: str) -> tuple:
+    graph = barabasi_albert_snapshot(14, attachments=2, seed=9)
+    params = ModelParameters(
+        onchain_cost=1.0,
+        opportunity_rate=0.1,
+        fee_avg=0.3,
+        fee_out_avg=0.2,
+        total_tx_rate=50.0,
+        user_tx_rate=5.0,
+        zipf_s=1.0,
+    )
+    model = JoiningUserModel(graph, user, params, revenue_mode=revenue_mode)
+    omega = ActionSpace.fixed_lock(graph, user, 1.0)[:8]
+    return model, omega
+
+
+def test_e03_property_table(benchmark, emit_table):
+    rows = []
+    for mode in ("fixed-rate", "betweenness"):
+        for kind in ("simplified", "utility", "benefit"):
+            model, omega = build(mode, f"u-{mode}-{kind}")
+            evaluator = ObjectiveEvaluator(model, kind=kind)
+            submod = check_submodularity(evaluator, omega, trials=TRIALS, seed=0)
+            ran, mono_violations = check_monotonicity(
+                evaluator, omega, trials=TRIALS, seed=1
+            )
+            rows.append(
+                {
+                    "revenue_mode": mode,
+                    "objective": kind,
+                    "submod_violations": submod.violations,
+                    "monotone_violations": mono_violations,
+                    "trials": TRIALS,
+                }
+            )
+    emit_table(
+        format_table(
+            rows, title="E3 / Thm 1-3 — property violations on random nestings"
+        )
+    )
+    by_key = {(r["revenue_mode"], r["objective"]): r for r in rows}
+    # Thm 1 (fixed-λ regime): all three objectives submodular
+    for kind in ("simplified", "utility", "benefit"):
+        assert by_key[("fixed-rate", kind)]["submod_violations"] == 0
+    # Thm 2: U' monotone under fixed-λ
+    assert by_key[("fixed-rate", "simplified")]["monotone_violations"] == 0
+    # documented deviation: exact betweenness revenue is NOT submodular
+    assert by_key[("betweenness", "simplified")]["submod_violations"] > 0
+
+    model, omega = build("fixed-rate", "u-bench")
+    evaluator = ObjectiveEvaluator(model, kind="simplified")
+    benchmark(
+        lambda: check_submodularity(evaluator, omega, trials=20, seed=3)
+    )
+
+
+def test_e03_negative_utility_witness(benchmark, emit_table):
+    """Thm 3: with expensive channels a negative-utility strategy exists."""
+    graph = barabasi_albert_snapshot(14, attachments=2, seed=9)
+    params = ModelParameters(
+        onchain_cost=10.0,
+        opportunity_rate=1.0,
+        fee_avg=0.01,
+        fee_out_avg=0.5,
+        total_tx_rate=10.0,
+        user_tx_rate=5.0,
+        zipf_s=1.0,
+    )
+    model = JoiningUserModel(graph, "u", params, revenue_mode="fixed-rate")
+    omega = ActionSpace.fixed_lock(graph, "u", 1.0)[:8]
+    evaluator = ObjectiveEvaluator(model, kind="utility")
+    witness = find_negative_utility_example(evaluator, omega, trials=60, seed=5)
+    assert witness is not None
+    value = evaluator(witness)
+    emit_table(
+        format_table(
+            [{"witness_channels": len(witness), "utility": value}],
+            title="E3 / Thm 3 — negative-utility witness",
+        )
+    )
+    assert value < 0
+    benchmark(
+        lambda: find_negative_utility_example(evaluator, omega, trials=10, seed=6)
+    )

@@ -1,0 +1,82 @@
+"""E4 — Algorithm 1 / Theorem 4: greedy quality and cost.
+
+Series reproduced:
+* approximation ratio of greedy vs the brute-force optimum of U' across
+  random instances — every ratio must clear 1 - 1/e ≈ 0.632;
+* objective-evaluation counts vs the O(M·n) bound.
+"""
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.core.algorithms.bruteforce import brute_force
+from repro.core.algorithms.greedy import greedy_fixed_funds
+from repro.core.utility import JoiningUserModel
+from repro.snapshots.synthetic import barabasi_albert_snapshot
+
+GUARANTEE = 1 - 1 / math.e
+
+
+def build_model(seed: int, profitable_params, n: int = 12) -> JoiningUserModel:
+    graph = barabasi_albert_snapshot(n, attachments=2, seed=seed)
+    return JoiningUserModel(
+        graph, "u", profitable_params, revenue_mode="fixed-rate"
+    )
+
+
+def test_e04_ratio_sweep(benchmark, emit_table, profitable_params):
+    rows = []
+    budget, lock = 4.2, 1.0
+    for seed in range(1, 7):
+        model = build_model(seed, profitable_params)
+        greedy = greedy_fixed_funds(model, budget=budget, lock=lock)
+        optimum = brute_force(model, budget=budget, lock=lock)
+        ratio = (
+            greedy.objective_value / optimum.objective_value
+            if optimum.objective_value > 0
+            else float("nan")
+        )
+        rows.append(
+            {
+                "seed": seed,
+                "greedy_U'": greedy.objective_value,
+                "optimum_U'": optimum.objective_value,
+                "ratio": ratio,
+                "guarantee": GUARANTEE,
+                "ok": ratio >= GUARANTEE - 1e-9,
+            }
+        )
+    emit_table(
+        format_table(rows, title="E4 / Thm 4 — greedy vs optimum of U'")
+    )
+    assert all(row["ok"] for row in rows)
+
+    model = build_model(99, profitable_params)
+    benchmark(lambda: greedy_fixed_funds(model, budget=budget, lock=lock))
+
+
+def test_e04_evaluation_count_scaling(benchmark, emit_table, profitable_params):
+    """Evaluations grow ~ M·n (Thm 4's 'O(M·n) estimations')."""
+    rows = []
+    lock = 1.0
+    for n in (8, 12, 16, 20):
+        for budget in (2.9, 4.3, 5.7):  # M = 2, 3, 4
+            model = build_model(7, profitable_params, n=n)
+            result = greedy_fixed_funds(model, budget=budget, lock=lock)
+            m = result.details["max_channels"]
+            rows.append(
+                {
+                    "n": n,
+                    "M": m,
+                    "evaluations": result.evaluations,
+                    "bound_Mn+1": m * n + 1,
+                    "within": result.evaluations <= m * n + 1,
+                }
+            )
+    emit_table(
+        format_table(rows, title="E4 — objective evaluations vs the M*n bound")
+    )
+    assert all(row["within"] for row in rows)
+
+    model = build_model(7, profitable_params, n=16)
+    benchmark(lambda: greedy_fixed_funds(model, budget=4.3, lock=lock))

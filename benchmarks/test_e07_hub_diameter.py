@@ -1,0 +1,84 @@
+"""E7 — Theorem 6: longest shortest path through a hub vs the bound.
+
+For graphs that plausibly model stable networks (stars, short chains with
+expensive chords) the measured hub-path length d must satisfy
+
+    d <= 2 * ((C+ε)/2 - λ_e f) / (p_min N f) + 1,
+
+while traffic-heavy long paths violate the bound — i.e. they cannot be
+stable, which is the theorem's contrapositive.
+"""
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.equilibrium.diameter import analyse_hub_path
+from repro.equilibrium.topologies import CENTER, path, star
+from repro.params import ModelParameters
+from repro.snapshots.synthetic import barabasi_albert_snapshot
+
+
+def test_e07_bound_table(benchmark, emit_table):
+    scenarios = [
+        (
+            "star(8) cheap-chain",
+            star(8),
+            CENTER,
+            ModelParameters(onchain_cost=0.5, total_tx_rate=100.0,
+                            fee_avg=0.5, zipf_s=1.0),
+            True,
+        ),
+        (
+            "path(9) expensive C",
+            path(9),
+            "v004",
+            ModelParameters(onchain_cost=1e6, total_tx_rate=10.0,
+                            fee_avg=0.1, zipf_s=0.5),
+            True,
+        ),
+        (
+            "path(11) heavy traffic",
+            path(11),
+            "v005",
+            ModelParameters(onchain_cost=0.01, total_tx_rate=1000.0,
+                            fee_avg=1.0, zipf_s=0.0),
+            False,  # bound violated => not stable
+        ),
+    ]
+    # BA hub: realistic snapshot, hub = max-degree node
+    snapshot = barabasi_albert_snapshot(40, attachments=2, seed=21)
+    hub = max(snapshot.nodes, key=snapshot.degree)
+    scenarios.append(
+        (
+            "BA(40) hub, costly C",
+            snapshot,
+            hub,
+            ModelParameters(onchain_cost=50.0, total_tx_rate=40.0,
+                            fee_avg=0.1, zipf_s=1.0),
+            True,
+        )
+    )
+
+    rows = []
+    for name, graph, hub_node, params, expect_within in scenarios:
+        analysis = analyse_hub_path(graph, hub_node, params)
+        rows.append(
+            {
+                "scenario": name,
+                "measured_d": analysis.measured_d,
+                "bound": analysis.bound,
+                "lambda_e": analysis.lambda_e,
+                "p_min": analysis.p_min,
+                "within_bound": analysis.within_bound,
+                "expected": expect_within,
+            }
+        )
+    emit_table(
+        format_table(rows, title="E7 / Thm 6 — hub path length vs bound")
+    )
+    for row in rows:
+        assert row["within_bound"] == row["expected"], row["scenario"]
+
+    params = ModelParameters(onchain_cost=1.0, total_tx_rate=50.0,
+                             fee_avg=0.2, zipf_s=1.0)
+    benchmark(lambda: analyse_hub_path(path(9), "v004", params))

@@ -1,0 +1,42 @@
+"""E9 — Theorem 10: the path graph is never a Nash equilibrium (n >= 4).
+
+Sweeps path length and Zipf parameter; for every point some node (in the
+proof: an endpoint) has a strictly improving deviation. Also prints the
+endpoint's best move to show it matches the proof's rewiring argument.
+"""
+
+from repro.analysis.sweeps import run_sweep
+from repro.analysis.tables import format_table
+from repro.equilibrium.nash import best_response, check_nash
+from repro.equilibrium.node_utility import NetworkGameModel
+from repro.equilibrium.topologies import path
+
+
+def evaluate(n: int, s: float) -> dict:
+    model = NetworkGameModel(a=1.0, b=1.0, edge_cost=1.0, zipf_s=s)
+    graph = path(n)
+    report = check_nash(graph, model, mode="structured", seed=0)
+    endpoint = best_response(graph, "v000", model, mode="structured", seed=0)
+    return {
+        "is_ne": report.is_nash,
+        "deviators": len(report.deviating_nodes),
+        "endpoint_gain": endpoint.gain,
+        "endpoint_rewires": (
+            endpoint.best_deviation is not None
+            and bool(endpoint.best_deviation.add)
+        ),
+    }
+
+
+def test_e09_path_never_ne(benchmark, emit_table):
+    grid = {"n": [4, 5, 6, 7, 8], "s": [0.0, 1.0, 2.0]}
+    rows = run_sweep(grid, evaluate)
+    emit_table(
+        format_table(rows, title="E9 / Thm 10 — path graphs are never NEs")
+    )
+    assert all(not row["is_ne"] for row in rows)
+    # the endpoint itself always has a strict improvement that adds a channel
+    assert all(row["endpoint_gain"] > 0 for row in rows)
+    assert all(row["endpoint_rewires"] for row in rows)
+
+    benchmark(lambda: evaluate(6, 1.0))

@@ -1,0 +1,90 @@
+"""E10 — Theorem 11: the circle stops being a NE beyond some size n0.
+
+Sweeps circle size at a=b=1, l=0.5, s=0 and reports per size:
+* whether any deviation improves (full structured family);
+* the best *single-chord* deviation — the proof's construction — with the
+  ring distance of its target (the proof connects to the opposite node).
+
+Shape reproduced: small circles are stable, a crossover n0 exists, the
+instability persists for all n >= n0, the winning chord is the opposite
+node (ring distance n//2), and its gain grows with n (the proof's
+asymptotic comparison b·n²·5/16 vs b·n²/4).
+"""
+
+from repro.analysis.tables import format_table
+from repro.equilibrium.deviations import Deviation, apply_deviation
+from repro.equilibrium.nash import best_response
+from repro.equilibrium.node_utility import NetworkGameModel
+from repro.equilibrium.topologies import circle, node_labels
+
+EDGE_COST = 0.5
+
+
+def build_model() -> NetworkGameModel:
+    return NetworkGameModel(a=1.0, b=1.0, edge_cost=EDGE_COST, zipf_s=0.0)
+
+
+def best_single_chord(graph, model, n: int):
+    """Best single-added-chord deviation for v000 (the proof's move)."""
+    labels = node_labels(n)
+    base = model.node_utility(graph, "v000")
+    best_k, best_gain = 0, 0.0
+    for k in range(2, n // 2 + 1):
+        deviation = Deviation(frozenset(), frozenset({labels[k]}))
+        deviated = apply_deviation(graph, "v000", deviation)
+        gain = model.node_utility(deviated, "v000") - base
+        if gain > best_gain:
+            best_gain, best_k = gain, k
+    return best_k, best_gain
+
+
+def test_e10_crossover(benchmark, emit_table):
+    model = build_model()
+    rows = []
+    for n in range(4, 15):
+        graph = circle(n)
+        # the circle is vertex-transitive: checking one node is exact
+        response = best_response(
+            graph, "v000", model, mode="structured", seed=0
+        )
+        chord_k, chord_gain = best_single_chord(graph, model, n)
+        rows.append(
+            {
+                "n": n,
+                "is_ne": not response.can_improve,
+                "best_gain": response.gain if response.can_improve else 0.0,
+                "best_chord_dist": chord_k,
+                "opposite": n // 2,
+                "chord_gain": chord_gain,
+            }
+        )
+    emit_table(
+        format_table(
+            rows,
+            title=(
+                "E10 / Thm 11 — circle stability vs size "
+                f"(a=b=1, l={EDGE_COST}, s=0)"
+            ),
+        )
+    )
+    stable = [row["n"] for row in rows if row["is_ne"]]
+    unstable = [row["n"] for row in rows if not row["is_ne"]]
+    assert unstable, "large circles must be unstable"
+    n0 = min(unstable)
+    # small circles are stable at these parameters; crossover exists
+    assert stable and max(stable) < n0 + 1
+    # the instability persists for every n >= n0 (the 'for all n >= n0')
+    assert all(not row["is_ne"] for row in rows if row["n"] >= n0)
+    # the proof's construction: the winning chord reaches the opposite node
+    for row in rows:
+        if row["n"] >= n0 and row["chord_gain"] > 0:
+            assert row["best_chord_dist"] == row["opposite"], row
+    # and its gain grows with n
+    gains = [row["chord_gain"] for row in rows if row["n"] >= n0]
+    assert all(g2 >= g1 - 1e-9 for g1, g2 in zip(gains, gains[1:]))
+
+    benchmark(
+        lambda: best_response(
+            circle(10), "v000", build_model(), mode="structured", seed=0
+        )
+    )

@@ -1,0 +1,113 @@
+"""E14 — network evolution and the welfare of stability.
+
+Two extension series grounding the paper's conclusion that "the star graph
+is the predominant topology":
+
+* **best-response dynamics** from the path and circle: under star-friendly
+  parameters the dynamics reach a stable graph whose diameter collapses
+  toward the star's;
+* **welfare and price of anarchy** across the candidate topologies: the
+  star is simultaneously stable and welfare-maximal, so stability costs
+  little on this family.
+"""
+
+import math
+
+import networkx as nx
+
+from repro.analysis.tables import format_table
+from repro.equilibrium.conditions import harmonic
+from repro.equilibrium.nash import best_response_dynamics, check_nash
+from repro.equilibrium.node_utility import NetworkGameModel
+from repro.equilibrium.topologies import circle, complete, path, star
+from repro.equilibrium.welfare import evaluate_topologies, price_of_anarchy
+
+
+def star_friendly_model(n: int) -> NetworkGameModel:
+    """Thm 9 regime: s >= 2 and a/H, b/H <= l."""
+    h = harmonic(n, 2.0)
+    return NetworkGameModel(a=0.9 * h, b=0.9 * h, edge_cost=1.0, zipf_s=2.0)
+
+
+def diameter(graph) -> float:
+    undirected = graph.to_undirected()
+    if not nx.is_connected(undirected):
+        return math.inf
+    return nx.diameter(undirected)
+
+
+def test_e14_best_response_dynamics(benchmark, emit_table):
+    model = star_friendly_model(5)
+    rows = []
+    for name, start in (("path(6)", path(6)), ("circle(6)", circle(6))):
+        final, rounds, converged = best_response_dynamics(
+            start, model, max_rounds=8, seed=0
+        )
+        rows.append(
+            {
+                "start": name,
+                "start_diameter": diameter(start),
+                "final_diameter": diameter(final),
+                "rounds": rounds,
+                "converged": converged,
+                "final_stable": check_nash(final, model, seed=0).is_nash,
+            }
+        )
+    emit_table(
+        format_table(
+            rows,
+            title="E14 — best-response dynamics under star-friendly params",
+        )
+    )
+    for row in rows:
+        assert row["converged"], row
+        assert row["final_stable"], row
+        # dynamics must not stretch the network; they compress distances
+        assert row["final_diameter"] <= row["start_diameter"], row
+    assert any(row["final_diameter"] < row["start_diameter"] for row in rows)
+
+    benchmark(
+        lambda: best_response_dynamics(
+            path(5), star_friendly_model(4), max_rounds=4, seed=0
+        )
+    )
+
+
+def test_e14_welfare_and_poa(benchmark, emit_table):
+    n = 5
+    model = star_friendly_model(n)
+    candidates = [
+        ("star", star(n)),
+        ("path", path(n + 1)),
+        ("circle", circle(n + 1)),
+        ("complete", complete(n + 1)),
+    ]
+    poa, results = price_of_anarchy(candidates, model, seed=0)
+    rows = [
+        {
+            "topology": r.name,
+            "welfare": r.welfare,
+            "stable": r.is_nash,
+        }
+        for r in results
+    ]
+    emit_table(
+        format_table(
+            rows,
+            title=f"E14 — welfare vs stability (PoA over family = {poa:.3f})",
+        )
+    )
+    by_name = {r.name: r for r in results}
+    assert by_name["star"].is_nash
+    assert not by_name["path"].is_nash
+    # the star is welfare-maximal among the candidates here
+    best = max(r.welfare for r in results if not math.isinf(r.welfare))
+    assert by_name["star"].welfare == best
+
+    benchmark(
+        lambda: evaluate_topologies(
+            [("star", star(4)), ("path", path(5))],
+            star_friendly_model(4),
+            seed=0,
+        )
+    )

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: find the optimal way to join a payment channel network.
+
+Builds a synthetic Lightning-like snapshot, models a new user with a
+budget, runs Algorithm 1 (greedy with fixed funds per channel), and prints
+the chosen channels with a breakdown of the utility components.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import JoiningUserModel, ModelParameters, greedy_fixed_funds
+from repro.analysis import format_table
+from repro.snapshots import barabasi_albert_snapshot
+
+
+def main() -> None:
+    # 1. A 50-node preferential-attachment snapshot (heavy-tailed degrees,
+    #    lognormal capacities) standing in for a public LN snapshot.
+    graph = barabasi_albert_snapshot(50, attachments=2, seed=7)
+    print(f"network: {len(graph)} nodes, {graph.num_channels()} channels")
+
+    # 2. Model parameters: on-chain cost C, opportunity rate r, fees, the
+    #    Zipf transaction skew s, and traffic rates (Section II).
+    params = ModelParameters(
+        onchain_cost=0.5,
+        opportunity_rate=0.01,
+        fee_avg=0.5,
+        fee_out_avg=0.1,
+        total_tx_rate=100.0,
+        user_tx_rate=5.0,
+        zipf_s=1.0,
+    )
+
+    # 3. The joining user's utility model (Section II-C).
+    model = JoiningUserModel(graph, "me", params)
+
+    # 4. Algorithm 1: budget B_u = 5, lock l1 = 1 coin per channel.
+    result = greedy_fixed_funds(model, budget=5.0, lock=1.0)
+    print(result.summary())
+
+    # 5. Break the chosen strategy down.
+    strategy = result.strategy
+    rows = [
+        {
+            "component": "expected routing revenue (E_rev)",
+            "value": model.expected_revenue(strategy),
+        },
+        {
+            "component": "expected fees paid (E_fees)",
+            "value": model.expected_fees(strategy),
+        },
+        {
+            "component": "channel costs (sum L_u)",
+            "value": model.channel_costs(strategy),
+        },
+        {"component": "utility U", "value": model.utility(strategy)},
+    ]
+    print()
+    print(format_table(rows, title="utility breakdown"))
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "peer": str(action.peer),
+                    "peer_degree": graph.degree(action.peer),
+                    "locked": action.locked,
+                }
+                for action in strategy
+            ],
+            title="chosen channels",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

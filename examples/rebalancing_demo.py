@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Rebalancing depleted channels with circular self-payments.
+
+Section IV motivates stability analysis partly through "finding off-chain
+rebalancing cycles for existing users to replenish depleted channels"
+(Hide & Seek [30]). This example:
+
+1. runs a one-sided payment flow that fully drains Alice's side of the
+   Alice-Bob channel (later payments detour through Carol);
+2. rebalances Alice with one atomic HTLC cycle, restoring her outbound
+   liquidity toward Bob without any on-chain transaction;
+3. re-runs payments and shows they take the direct channel again.
+
+Run:
+    python examples/rebalancing_demo.py
+"""
+
+from repro.analysis import format_table
+from repro.network import ChannelGraph, auto_rebalance, channel_imbalances
+from repro.simulation import SimulationEngine
+from repro.simulation.events import PaymentEvent
+
+
+def build_triangle() -> ChannelGraph:
+    graph = ChannelGraph()
+    graph.add_channel("alice", "bob", 10.0, 10.0)
+    graph.add_channel("alice", "carol", 10.0, 10.0)
+    graph.add_channel("carol", "bob", 10.0, 10.0)
+    return graph
+
+
+def pay_bob(graph: ChannelGraph, payments: int):
+    """Alice pays Bob ``payments`` times; returns the run's metrics."""
+    engine = SimulationEngine(graph, path_selection="first")
+    for i in range(payments):
+        engine.schedule(
+            PaymentEvent(time=float(i + 1), sender="alice", receiver="bob",
+                         amount=2.0)
+        )
+    return engine.run()
+
+
+def imbalance_rows(graph: ChannelGraph) -> list:
+    return [
+        {
+            "channel": f"alice-{i.counterparty}",
+            "alice_side": i.local_balance,
+            "capacity": i.capacity,
+            "local_ratio": i.local_ratio,
+        }
+        for i in channel_imbalances(graph, "alice")
+    ]
+
+
+def main() -> None:
+    graph = build_triangle()
+
+    metrics = pay_bob(graph, payments=5)
+    direct = metrics.edge_traffic.get(("alice", "bob"), 0)
+    print(
+        f"phase 1 — drain: {metrics.succeeded} payments ok "
+        f"({direct} used the direct channel; the rest detoured via carol)"
+    )
+    print(format_table(imbalance_rows(graph), title="alice's channels after draining"))
+    print()
+
+    cycles = auto_rebalance(graph, "alice", target_ratio=0.2, max_cycles=5)
+    print(f"phase 2 — rebalance: {cycles} circular payment(s), zero on-chain cost")
+    print(format_table(imbalance_rows(graph), title="alice's channels after rebalancing"))
+    print()
+
+    metrics = pay_bob(graph, payments=2)
+    direct = metrics.edge_traffic.get(("alice", "bob"), 0)
+    print(
+        f"phase 3 — resume: {metrics.succeeded}/2 payments ok, "
+        f"{direct} took the direct alice-bob channel again"
+    )
+    print()
+    print(
+        "the rebalancing cycle itself moved no net worth — it only shifted "
+        "alice's own liquidity between her channels "
+        f"(alice now holds {graph.balance_of('alice'):g} coins after paying "
+        "bob 4 more in phase 3)"
+    )
+
+
+if __name__ == "__main__":
+    main()

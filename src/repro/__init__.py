@@ -1,0 +1,96 @@
+"""``repro`` — a reproduction of "Lightning Creation Games" (ICDCS 2023).
+
+The library models the incentive structure behind payment channel network
+(PCN) creation:
+
+* :mod:`repro.network` — channels, the channel graph, routing, fees, and
+  pair-weighted betweenness (the PCN substrate);
+* :mod:`repro.transactions` — the modified-Zipf transaction distribution,
+  size distributions, Poisson workloads, and rate estimation (Eq. 2);
+* :mod:`repro.snapshots` — synthetic Lightning-like topologies and
+  describegraph-style snapshot IO;
+* :mod:`repro.core` — the joining user's utility function (Section II-C)
+  and the optimisation algorithms of Section III;
+* :mod:`repro.equilibrium` — the network creation game of Section IV:
+  Nash-equilibrium checks and the closed-form theorem conditions;
+* :mod:`repro.simulation` — a discrete-event payment simulator providing
+  the empirical counterparts of the analytic quantities;
+* :mod:`repro.analysis` — sweep and table helpers for the experiments.
+
+Quickstart::
+
+    from repro import (
+        ModelParameters, JoiningUserModel, greedy_fixed_funds,
+    )
+    from repro.snapshots import barabasi_albert_snapshot
+
+    graph = barabasi_albert_snapshot(50, seed=7)
+    model = JoiningUserModel(graph, "me", ModelParameters())
+    result = greedy_fixed_funds(model, budget=10.0, lock=1.0)
+    print(result.summary())
+"""
+
+from .errors import (
+    BudgetExceeded,
+    ChannelNotFound,
+    DuplicateChannel,
+    GraphError,
+    InsufficientBalance,
+    InvalidParameter,
+    NodeNotFound,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    SnapshotFormatError,
+)
+from .params import DEFAULT_PARAMS, ModelParameters
+from .network import ChannelGraph, Channel, Router
+from .core import (
+    Action,
+    ActionSpace,
+    JoiningUserModel,
+    ObjectiveEvaluator,
+    OptimisationResult,
+    Strategy,
+    brute_force,
+    continuous_local_search,
+    exhaustive_discrete,
+    greedy_fixed_funds,
+)
+from .equilibrium import NetworkGameModel, check_nash
+from .simulation import SimulationEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "ActionSpace",
+    "BudgetExceeded",
+    "Channel",
+    "ChannelGraph",
+    "ChannelNotFound",
+    "DEFAULT_PARAMS",
+    "DuplicateChannel",
+    "GraphError",
+    "InsufficientBalance",
+    "InvalidParameter",
+    "JoiningUserModel",
+    "ModelParameters",
+    "NetworkGameModel",
+    "NodeNotFound",
+    "ObjectiveEvaluator",
+    "OptimisationResult",
+    "ReproError",
+    "Router",
+    "RoutingError",
+    "SimulationEngine",
+    "SimulationError",
+    "SnapshotFormatError",
+    "Strategy",
+    "brute_force",
+    "check_nash",
+    "continuous_local_search",
+    "exhaustive_discrete",
+    "greedy_fixed_funds",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Sweep, estimation, and reporting helpers for experiments."""
+
+from .estimation import (
+    RateEstimate,
+    ZipfEstimate,
+    estimate_average_fee,
+    estimate_sender_rates,
+    estimate_total_rate,
+    estimate_zipf_s,
+)
+from .sweeps import grid_points, run_sweep
+from .tables import format_table, format_value
+
+__all__ = [
+    "RateEstimate",
+    "ZipfEstimate",
+    "estimate_average_fee",
+    "estimate_sender_rates",
+    "estimate_total_rate",
+    "estimate_zipf_s",
+    "format_table",
+    "format_value",
+    "grid_points",
+    "run_sweep",
+]

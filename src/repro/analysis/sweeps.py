@@ -1,0 +1,51 @@
+"""Parameter-sweep driver used by the benchmarks and examples.
+
+Turns a grid specification (dict of parameter name -> list of values) into
+the cartesian product, evaluates a function on every point, and collects
+rows of results — the machinery behind the parameter-space maps of
+bench E8 (star NE region) and friends.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence
+
+__all__ = ["grid_points", "run_sweep"]
+
+
+def grid_points(grid: Mapping[str, Sequence[Any]]) -> Iterator[Dict[str, Any]]:
+    """Yield every combination of the grid as a dict.
+
+    Iteration order is deterministic: keys in insertion order, values in
+    the order given.
+    """
+    keys = list(grid)
+    for values in product(*(grid[k] for k in keys)):
+        yield dict(zip(keys, values))
+
+def run_sweep(
+    grid: Mapping[str, Sequence[Any]],
+    evaluate: Callable[..., Mapping[str, Any]],
+    progress: Callable[[int, Dict[str, Any]], None] = None,
+) -> List[Dict[str, Any]]:
+    """Evaluate ``evaluate(**point)`` on every grid point.
+
+    ``evaluate`` must return a mapping of result columns; the returned rows
+    merge the point's parameters with its results (results win on name
+    clashes).
+
+    Args:
+        grid: parameter name -> values.
+        evaluate: called with the point as keyword arguments.
+        progress: optional callback ``(index, point)`` before each point.
+    """
+    rows: List[Dict[str, Any]] = []
+    for index, point in enumerate(grid_points(grid)):
+        if progress is not None:
+            progress(index, point)
+        result = evaluate(**point)
+        row = dict(point)
+        row.update(result)
+        rows.append(row)
+    return rows

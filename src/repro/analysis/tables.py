@@ -1,0 +1,64 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benches print the same rows/series the paper's claims imply; this
+module renders them readably in plain terminals (no external deps).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Human-friendly rendering of one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) == float("inf"):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of dicts as a fixed-width text table.
+
+    Args:
+        rows: the data; all rows should share keys.
+        columns: column order (defaults to the first row's keys).
+        precision: significant digits for floats.
+        title: optional heading line.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [format_value(row.get(col, ""), precision) for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(col)), max(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    divider = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rendered
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, divider])
+    lines.extend(body)
+    return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Command-line interface: run the paper's analyses from the shell.
+
+Subcommands:
+
+* ``join`` — compute an optimal joining strategy on a snapshot (generated
+  or loaded) with the algorithm of your choice;
+* ``stability`` — check whether a simple topology is a Nash equilibrium
+  for given (a, b, l, s) and compare with the closed-form conditions;
+* ``simulate`` — run the discrete-event simulator on a snapshot and
+  report success rates and top earners;
+* ``generate`` — write a synthetic snapshot to a JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis import format_table
+from .core import (
+    JoiningUserModel,
+    brute_force,
+    continuous_local_search,
+    exhaustive_discrete,
+    greedy_fixed_funds,
+)
+from .equilibrium import (
+    NetworkGameModel,
+    check_nash,
+    circle,
+    path,
+    star,
+    star_ne_closed_form,
+)
+from .network.fees import LinearFee
+from .params import ModelParameters
+from .simulation import SimulationEngine
+from .snapshots import (
+    barabasi_albert_snapshot,
+    core_periphery_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from .transactions import ModifiedZipf, PoissonWorkload, TruncatedExponentialSizes
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if args.snapshot:
+        return load_snapshot(args.snapshot)
+    if args.topology == "ba":
+        return barabasi_albert_snapshot(args.nodes, seed=args.seed)
+    return core_periphery_snapshot(
+        core_size=max(args.nodes // 10, 3),
+        periphery_size=args.nodes - max(args.nodes // 10, 3),
+        seed=args.seed,
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = _load_or_generate(args)
+    save_snapshot(graph, args.output)
+    print(
+        f"wrote snapshot: {len(graph)} nodes, {graph.num_channels()} channels "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    graph = _load_or_generate(args)
+    params = ModelParameters(zipf_s=args.zipf_s)
+    model = JoiningUserModel(graph, args.user, params)
+    if args.algorithm == "greedy":
+        result = greedy_fixed_funds(model, budget=args.budget, lock=args.lock)
+    elif args.algorithm == "exhaustive":
+        result = exhaustive_discrete(
+            model, budget=args.budget, granularity=args.granularity,
+            max_divisions=args.max_divisions,
+        )
+    elif args.algorithm == "continuous":
+        result = continuous_local_search(model, budget=args.budget)
+    else:
+        result = brute_force(model, budget=args.budget, lock=args.lock)
+    print(result.summary())
+    rows = [
+        {"peer": str(a.peer), "locked": a.locked} for a in result.strategy
+    ]
+    if rows:
+        print(format_table(rows, title="chosen channels"))
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    builders = {"star": star, "path": path, "circle": circle}
+    graph = builders[args.topology_name](args.size)
+    model = NetworkGameModel(
+        a=args.a, b=args.b, edge_cost=args.edge_cost, zipf_s=args.zipf_s
+    )
+    report = check_nash(graph, model, mode=args.mode, seed=0)
+    print(f"{args.topology_name}({args.size}): NE={report.is_nash}")
+    if not report.is_nash:
+        for node in report.deviating_nodes:
+            response = report.responses[node]
+            print(
+                f"  {node}: gain={response.gain:.6g} via {response.best_deviation}"
+            )
+    if args.topology_name == "star":
+        closed = star_ne_closed_form(
+            args.size, args.zipf_s, args.a, args.b, args.edge_cost
+        )
+        print(f"Thm 8 closed form says NE={closed}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = _load_or_generate(args)
+    distribution = ModifiedZipf(graph, s=args.zipf_s)
+    rates = {node: 1.0 for node in graph.nodes}
+    workload = PoissonWorkload(
+        distribution,
+        rates,
+        sizes=TruncatedExponentialSizes(scale=args.tx_scale, high=args.tx_max),
+        seed=args.seed,
+    )
+    engine = SimulationEngine(graph, fee=LinearFee(base=0.01, rate=0.001))
+    engine.schedule_workload(workload, horizon=args.horizon)
+    metrics = engine.run()
+    print(metrics.summary())
+    earners = sorted(
+        metrics.revenue.items(), key=lambda kv: kv[1], reverse=True
+    )[:10]
+    rows = [
+        {"node": str(node), "revenue": rev, "rate": metrics.revenue_rate(node)}
+        for node, rev in earners
+    ]
+    if rows:
+        print(format_table(rows, title="top earners"))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    """Simulate traffic with known parameters, then recover them."""
+    from .analysis.estimation import estimate_sender_rates, estimate_zipf_s
+
+    graph = _load_or_generate(args)
+    workload = PoissonWorkload(
+        ModifiedZipf(graph, s=args.zipf_s),
+        {node: args.sender_rate for node in graph.nodes},
+        seed=args.seed,
+    )
+    trace = workload.generate_count(args.samples)
+    zipf = estimate_zipf_s(graph, trace)
+    print(f"true s = {args.zipf_s:g}, estimated s = {zipf.s:.3f} "
+          f"({zipf.samples} samples)")
+    horizon = trace[-1].time
+    rates = estimate_sender_rates(trace, horizon)
+    covered = sum(e.contains(args.sender_rate) for e in rates.values())
+    print(
+        f"per-sender rate CIs covering the true rate {args.sender_rate:g}: "
+        f"{covered}/{len(rates)}"
+    )
+    top = sorted(rates.items(), key=lambda kv: kv[1].rate, reverse=True)[:5]
+    rows = [
+        {
+            "node": str(node),
+            "rate": est.rate,
+            "ci_low": est.ci_low,
+            "ci_high": est.ci_high,
+        }
+        for node, est in top
+    ]
+    print(format_table(rows, title="busiest senders"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lightning-creation-games",
+        description="Lightning Creation Games (ICDCS 2023) reproduction CLI",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_snapshot_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--snapshot", help="describegraph JSON to load")
+        p.add_argument("--topology", choices=["ba", "core-periphery"], default="ba")
+        p.add_argument("--nodes", type=int, default=50)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--zipf-s", dest="zipf_s", type=float, default=1.0)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic snapshot")
+    add_snapshot_args(p_gen)
+    p_gen.add_argument("output", help="output JSON path")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_join = sub.add_parser("join", help="optimal joining strategy")
+    add_snapshot_args(p_join)
+    p_join.add_argument("--user", default="new-user")
+    p_join.add_argument("--budget", type=float, default=10.0)
+    p_join.add_argument("--lock", type=float, default=1.0)
+    p_join.add_argument("--granularity", type=float, default=1.0)
+    p_join.add_argument("--max-divisions", type=int, default=200)
+    p_join.add_argument(
+        "--algorithm",
+        choices=["greedy", "exhaustive", "continuous", "bruteforce"],
+        default="greedy",
+    )
+    p_join.set_defaults(func=_cmd_join)
+
+    p_stab = sub.add_parser("stability", help="Nash-equilibrium check")
+    p_stab.add_argument(
+        "topology_name", choices=["star", "path", "circle"]
+    )
+    p_stab.add_argument("--size", type=int, default=6)
+    p_stab.add_argument("-a", type=float, default=0.1)
+    p_stab.add_argument("-b", type=float, default=0.1)
+    p_stab.add_argument("--edge-cost", type=float, default=1.0)
+    p_stab.add_argument("--zipf-s", dest="zipf_s", type=float, default=2.0)
+    p_stab.add_argument(
+        "--mode", choices=["structured", "exhaustive"], default="structured"
+    )
+    p_stab.set_defaults(func=_cmd_stability)
+
+    p_sim = sub.add_parser("simulate", help="run the payment simulator")
+    add_snapshot_args(p_sim)
+    p_sim.add_argument("--horizon", type=float, default=100.0)
+    p_sim.add_argument("--tx-scale", type=float, default=0.5)
+    p_sim.add_argument("--tx-max", type=float, default=5.0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_est = sub.add_parser(
+        "estimate", help="round-trip parameter estimation on simulated traffic"
+    )
+    add_snapshot_args(p_est)
+    p_est.add_argument("--samples", type=int, default=1000)
+    p_est.add_argument("--sender-rate", type=float, default=1.0)
+    p_est.set_defaults(func=_cmd_estimate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Optimisation algorithms of Section III."""
+
+from .bruteforce import brute_force
+from .common import OptimisationResult
+from .continuous import continuous_local_search, lock_grid
+from .exhaustive import count_divisions, exhaustive_discrete, fund_divisions
+from .greedy import greedy_fixed_funds, greedy_over_actions
+
+__all__ = [
+    "OptimisationResult",
+    "brute_force",
+    "continuous_local_search",
+    "count_divisions",
+    "exhaustive_discrete",
+    "fund_divisions",
+    "greedy_fixed_funds",
+    "greedy_over_actions",
+    "lock_grid",
+]

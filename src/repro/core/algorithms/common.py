@@ -1,0 +1,45 @@
+"""Shared result types for the Section III optimisation algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..strategy import Strategy
+
+__all__ = ["OptimisationResult"]
+
+
+@dataclass
+class OptimisationResult:
+    """Outcome of one optimiser run.
+
+    Attributes:
+        algorithm: short name (``"greedy"``, ``"exhaustive"``, ...).
+        strategy: the best strategy found.
+        objective_value: value of the objective the algorithm optimised
+            (``U'`` for Algorithms 1-2, ``U^b`` for the continuous one).
+        utility: the *full* utility ``U`` of the chosen strategy, so that
+            runs with different objectives are comparable.
+        evaluations: number of true (uncached) objective evaluations.
+        details: algorithm-specific extras (prefix values, division counts,
+            iteration logs, ...).
+    """
+
+    algorithm: str
+    strategy: Strategy
+    objective_value: float
+    utility: float
+    evaluations: int = 0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        peers = ", ".join(
+            f"{action.peer}:{action.locked:g}" for action in self.strategy
+        )
+        return (
+            f"[{self.algorithm}] objective={self.objective_value:.6g} "
+            f"utility={self.utility:.6g} channels={len(self.strategy)} "
+            f"({peers}) evals={self.evaluations}"
+        )

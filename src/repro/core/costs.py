@@ -1,0 +1,64 @@
+"""Channel cost model (Section II-C) and the on-chain alternative cost.
+
+For one party, a channel costs:
+
+* ``C/2`` — its share of the opening transaction's miner fee;
+* ``C/2`` — its *expected* share of the closing fee (the channel closes
+  unilaterally-by-u, unilaterally-by-v, or collaboratively with equal
+  probability, so each party expects to pay half on average);
+* ``r * l`` — opportunity cost of the ``l`` coins locked for the channel
+  lifetime (linear rate, the paper's standard economic assumption).
+
+Total: ``L_u(v, l) = C + r*l``.
+
+Section III-D additionally uses ``C_u = N_u * C / 2`` — the expected
+on-chain cost if the user transacted purely on the blockchain — to shift
+the utility into the non-negative *benefit function* ``U^b = C_u + U``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..params import ModelParameters
+from .strategy import Action, Strategy
+
+__all__ = [
+    "channel_cost",
+    "strategy_cost",
+    "onchain_alternative_cost",
+    "benefit_positivity_condition",
+]
+
+
+def channel_cost(params: ModelParameters, locked: float) -> float:
+    """``L_u(v, l) = C + r*l`` for one channel, one party."""
+    return params.channel_cost(locked)
+
+
+def strategy_cost(params: ModelParameters, strategy: Strategy) -> float:
+    """``Σ_{(v,l) in S} L_u(v, l)``."""
+    return strategy.utility_cost(params)
+
+
+def onchain_alternative_cost(params: ModelParameters) -> float:
+    """``C_u = N_u * C / 2`` (Section III-D)."""
+    return params.onchain_alternative_cost()
+
+
+def benefit_positivity_condition(
+    params: ModelParameters,
+    expected_fees: float,
+    budget: float,
+    max_single_channel_cost: float,
+) -> bool:
+    """Check the paper's sufficient condition for ``U^b`` to stay positive.
+
+    Section III-D: the benefit function remains submodular and positive
+    whenever channels satisfy ``E_fees + (B_u / C) * L_u(v, l) < C_u``.
+    ``max_single_channel_cost`` should be the largest ``L_u(v, l)`` of any
+    channel the optimiser may open.
+    """
+    bound = params.onchain_alternative_cost()
+    lhs = expected_fees + (budget / params.onchain_cost) * max_single_channel_cost
+    return lhs < bound

@@ -1,0 +1,89 @@
+"""Expected fees a user pays for their own transactions (``E_fees``).
+
+Section II-C:
+
+    E_fees(u) = N_u * Σ_{v != u} hops(u, v) * f^T_avg * p_trans(u, v)
+
+with ``hops`` derived from the shortest-path distance ``d(u, v)``. The
+paper states fees are paid "to every intermediary node in the path" but
+then charges ``d(u, v) * f^T_avg``; its Section IV proofs consistently use
+the intermediary count ``d(u, v) - 1``. Both conventions are supported:
+
+* ``"path-length"`` — charge ``d(u, v)`` per the Section II-C formula
+  (default for the joining-user optimisation, matching Thm 1-5 statements);
+* ``"intermediaries"`` — charge ``d(u, v) - 1`` (used by the Section IV
+  equilibrium analysis; see :mod:`repro.equilibrium`).
+
+``d(u, v) = +inf`` for unreachable ``v`` makes ``E_fees`` infinite, which
+is how the model assigns utility ``-inf`` to disconnected strategies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Hashable, Mapping
+
+import networkx as nx
+
+from ..errors import InvalidParameter
+
+__all__ = ["expected_fees", "single_source_hops", "HOP_CONVENTIONS"]
+
+HOP_CONVENTIONS = ("path-length", "intermediaries")
+
+
+def single_source_hops(digraph: nx.DiGraph, source: Hashable) -> Dict[Hashable, int]:
+    """Directed BFS hop distances from ``source`` (missing = unreachable)."""
+    if source not in digraph:
+        return {}
+    dist: Dict[Hashable, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for w in digraph.successors(v):
+            if w not in dist:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+    return dist
+
+
+def expected_fees(
+    digraph: nx.DiGraph,
+    user: Hashable,
+    own_probs: Mapping[Hashable, float],
+    user_tx_rate: float,
+    fee_out_avg: float,
+    hop_convention: str = "path-length",
+) -> float:
+    """``E_fees(user)`` under the given receiver distribution.
+
+    Args:
+        digraph: the (possibly reduced) directed network view.
+        user: the sender.
+        own_probs: ``p_trans(user, v)`` per receiver ``v`` (should sum to 1
+            over intended receivers).
+        user_tx_rate: ``N_u``.
+        fee_out_avg: ``f^T_avg``.
+        hop_convention: see module docstring.
+
+    Returns:
+        expected fee cost per unit time; ``math.inf`` when any intended
+        receiver is unreachable.
+    """
+    if hop_convention not in HOP_CONVENTIONS:
+        raise InvalidParameter(
+            f"hop_convention must be one of {HOP_CONVENTIONS}, got {hop_convention!r}"
+        )
+    dist = single_source_hops(digraph, user)
+    total = 0.0
+    for receiver, prob in own_probs.items():
+        if prob <= 0 or receiver == user:
+            continue
+        if receiver not in dist:
+            return math.inf
+        hops = dist[receiver]
+        if hop_convention == "intermediaries":
+            hops = max(hops - 1, 0)
+        total += hops * prob
+    return user_tx_rate * fee_out_avg * total

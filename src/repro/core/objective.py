@@ -1,0 +1,70 @@
+"""Memoised objective evaluation and marginal gains.
+
+The optimisation algorithms of Section III repeatedly evaluate the same
+strategies (greedy prefixes, exhaustive-search restarts). This wrapper
+caches objective values by strategy and counts true evaluations so the
+Thm 4/5 cost statements ("O(M·n) estimations of λ_uv") can be checked
+empirically (bench E4/E5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import InvalidParameter
+from .strategy import Action, Strategy
+from .utility import JoiningUserModel
+
+__all__ = ["ObjectiveEvaluator"]
+
+
+class ObjectiveEvaluator:
+    """Caching callable around one of the model's objectives.
+
+    Args:
+        model: the joining-user utility model.
+        kind: ``"simplified"`` (U'), ``"utility"`` (U) or ``"benefit"`` (U^b).
+        max_cache: optional cap on memoised entries (FIFO eviction); the
+            default keeps everything, which is fine for the instance sizes
+            the algorithms target.
+    """
+
+    def __init__(
+        self,
+        model: JoiningUserModel,
+        kind: str = "simplified",
+        max_cache: Optional[int] = None,
+    ) -> None:
+        if kind not in ("simplified", "utility", "benefit"):
+            raise InvalidParameter(f"unknown objective kind {kind!r}")
+        if max_cache is not None and max_cache < 1:
+            raise InvalidParameter("max_cache must be >= 1")
+        self.model = model
+        self.kind = kind
+        self.max_cache = max_cache
+        self._cache: Dict[Strategy, float] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    def __call__(self, strategy: Strategy) -> float:
+        if strategy in self._cache:
+            self.cache_hits += 1
+            return self._cache[strategy]
+        value = self.model.objective(strategy, kind=self.kind)
+        self.evaluations += 1
+        if self.max_cache is not None and len(self._cache) >= self.max_cache:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[strategy] = value
+        return value
+
+    def marginal(self, strategy: Strategy, action: Action) -> float:
+        """``f(S ∪ {X}) - f(S)`` for this objective."""
+        return self(strategy.with_action(action)) - self(strategy)
+
+    def reset_counters(self) -> None:
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.reset_counters()

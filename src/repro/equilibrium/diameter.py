@@ -1,0 +1,146 @@
+"""Theorem 6 — longest shortest path through a hub in a stable network.
+
+The theorem argues: if a stable network contained a long shortest path
+``P = (v_0 ... v_d)``, the two nodes flanking its midpoint could profitably
+open a chord ``e``, shortening every sub-path of ``P`` that crosses the
+middle. Stability therefore bounds ``d``:
+
+    d <= 2 * ((C + ε)/2 - λ_e·f) / (p_min·N·f) + 1
+
+with ``λ_e`` the minimum directed rate the chord would carry and ``p_min``
+the minimum probability of the crossing sub-paths. This module measures
+both sides on concrete graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import InvalidParameter, NodeNotFound
+from ..network.graph import ChannelGraph
+from ..params import ModelParameters
+from ..transactions.rates import edge_rates
+from ..transactions.zipf import ModifiedZipf
+from .conditions import hub_diameter_bound
+
+__all__ = ["HubPathAnalysis", "longest_shortest_path_through", "analyse_hub_path"]
+
+
+@dataclass
+class HubPathAnalysis:
+    """Measured path length vs the Thm 6 bound for one hub."""
+
+    hub: Hashable
+    path: Tuple[Hashable, ...]
+    measured_d: int
+    lambda_e: float
+    p_min: float
+    bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        return self.measured_d <= self.bound + 1e-9
+
+
+def longest_shortest_path_through(
+    graph: ChannelGraph, hub: Hashable
+) -> List[Hashable]:
+    """A longest shortest path that has ``hub`` as an internal-or-end node.
+
+    Scans all node pairs; among pairs whose shortest-path distance equals
+    ``d(s, hub) + d(hub, t)`` (hub lies on *some* shortest path), returns
+    one concrete path realised through the hub.
+    """
+    if hub not in graph:
+        raise NodeNotFound(hub)
+    undirected = graph.to_undirected()
+    dist = dict(nx.all_pairs_shortest_path_length(undirected))
+    hub_dist = dist.get(hub, {})
+    best_pair: Optional[Tuple[Hashable, Hashable]] = None
+    best_len = -1
+    for s, row in dist.items():
+        for t, d in row.items():
+            if s == t:
+                continue
+            if hub_dist.get(s) is None or hub_dist.get(t) is None:
+                continue
+            if hub_dist[s] + hub_dist[t] == d and d > best_len:
+                best_len = d
+                best_pair = (s, t)
+    if best_pair is None:
+        return [hub]
+    s, t = best_pair
+    first = nx.shortest_path(undirected, s, hub)
+    second = nx.shortest_path(undirected, hub, t)
+    return first + second[1:]
+
+
+def analyse_hub_path(
+    graph: ChannelGraph,
+    hub: Hashable,
+    params: ModelParameters,
+    balance: float = 1.0,
+) -> HubPathAnalysis:
+    """Measure Thm 6's quantities for ``hub`` on ``graph``.
+
+    Adds the midpoint chord ``e`` to a copy of the graph, estimates its
+    directed rates under the modified-Zipf distribution (Eq. 2), extracts
+    ``λ_e`` (min of the two directions) and ``p_min`` (minimum crossing
+    sub-path probability), and evaluates the bound with ``f = f_avg``.
+
+    For short paths (d < 3) no chord exists and the bound is reported as
+    ``inf`` (trivially satisfied).
+    """
+    path = longest_shortest_path_through(graph, hub)
+    d = len(path) - 1
+    if d < 3:
+        return HubPathAnalysis(
+            hub=hub, path=tuple(path), measured_d=d,
+            lambda_e=0.0, p_min=0.0, bound=math.inf,
+        )
+    mid = d // 2
+    left, right = path[mid - 1], path[mid + 1]
+    with_chord = graph.copy()
+    if not with_chord.has_channel(left, right):
+        with_chord.add_channel(left, right, balance, balance)
+    distribution = ModifiedZipf(with_chord, s=params.zipf_s)
+    rates = edge_rates(
+        with_chord, distribution, total_tx_rate=params.total_tx_rate
+    )
+    lambda_e = min(rates.get((left, right), 0.0), rates.get((right, left), 0.0))
+
+    # p_min over sub-paths of P with one endpoint on each side of the middle.
+    base_distribution = ModifiedZipf(graph, s=params.zipf_s)
+    left_part = path[: mid]
+    right_part = path[mid + 1 :]
+    p_min = math.inf
+    for s_node in left_part:
+        for t_node in right_part:
+            for src, dst in ((s_node, t_node), (t_node, s_node)):
+                p = base_distribution.probability(src, dst)
+                if p > 0:
+                    p_min = min(p_min, p)
+    if math.isinf(p_min):
+        raise InvalidParameter(
+            "no crossing pair has positive transaction probability"
+        )
+    bound = hub_diameter_bound(
+        onchain_cost=params.onchain_cost,
+        epsilon=params.epsilon,
+        lambda_e=lambda_e,
+        fee=params.fee_avg,
+        p_min=p_min,
+        total_tx_rate=params.total_tx_rate,
+    )
+    return HubPathAnalysis(
+        hub=hub,
+        path=tuple(path),
+        measured_d=d,
+        lambda_e=lambda_e,
+        p_min=p_min,
+        bound=bound,
+    )

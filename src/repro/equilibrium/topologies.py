@@ -1,0 +1,62 @@
+"""Builders for the simple graph topologies analysed in Section IV."""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from ..errors import InvalidParameter
+from ..network.graph import ChannelGraph
+
+__all__ = ["star", "path", "circle", "complete", "CENTER"]
+
+#: Node id used for the star's central node.
+CENTER = "center"
+
+
+def _leaf(i: int) -> str:
+    # zero-padded labels keep canonical (sorted) node order intuitive
+    return f"v{i:03d}"
+
+
+def star(leaves: int, balance: float = 1.0) -> ChannelGraph:
+    """A star with ``leaves`` leaf nodes around :data:`CENTER`.
+
+    The paper counts the star's size by its number of leaves (Thm 7-9).
+    """
+    if leaves < 1:
+        raise InvalidParameter("star needs at least one leaf")
+    return ChannelGraph.from_edges(
+        [(CENTER, _leaf(i)) for i in range(leaves)], balance=balance
+    )
+
+
+def path(n: int, balance: float = 1.0) -> ChannelGraph:
+    """A path graph on ``n`` nodes (Thm 10)."""
+    if n < 2:
+        raise InvalidParameter("path needs at least two nodes")
+    return ChannelGraph.from_edges(
+        [(_leaf(i), _leaf(i + 1)) for i in range(n - 1)], balance=balance
+    )
+
+
+def circle(n: int, balance: float = 1.0) -> ChannelGraph:
+    """A cycle graph on ``n`` nodes (Thm 11)."""
+    if n < 3:
+        raise InvalidParameter("circle needs at least three nodes")
+    edges = [(_leaf(i), _leaf((i + 1) % n)) for i in range(n)]
+    return ChannelGraph.from_edges(edges, balance=balance)
+
+
+def complete(n: int, balance: float = 1.0) -> ChannelGraph:
+    """A complete graph on ``n`` nodes (everyone channels with everyone)."""
+    if n < 2:
+        raise InvalidParameter("complete graph needs at least two nodes")
+    edges = [
+        (_leaf(i), _leaf(j)) for i in range(n) for j in range(i + 1, n)
+    ]
+    return ChannelGraph.from_edges(edges, balance=balance)
+
+
+def node_labels(n: int) -> List[str]:
+    """The labels :func:`path`/:func:`circle`/:func:`complete` use."""
+    return [_leaf(i) for i in range(n)]

@@ -1,0 +1,98 @@
+"""Social welfare and price-of-anarchy analysis over simple topologies.
+
+The paper establishes *which* topologies are stable; a natural companion
+question (standard in the creation-games literature it builds on, e.g.
+Fabrikant et al. and Demaine et al.) is how much utility stability costs.
+This module computes total welfare of a topology under the Section IV
+utility and the price of anarchy restricted to a candidate family —
+supporting the ablation benches and the topology examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidParameter
+from ..network.graph import ChannelGraph
+from .nash import check_nash
+from .node_utility import NetworkGameModel
+
+__all__ = [
+    "social_welfare",
+    "TopologyWelfare",
+    "evaluate_topologies",
+    "price_of_anarchy",
+]
+
+
+def social_welfare(graph: ChannelGraph, model: NetworkGameModel) -> float:
+    """Sum of node utilities; ``-inf`` if any node is disconnected."""
+    total = 0.0
+    for node in graph.nodes:
+        utility = model.node_utility(graph, node)
+        if math.isinf(utility):
+            return -math.inf
+        total += utility
+    return total
+
+
+@dataclass
+class TopologyWelfare:
+    """Welfare and stability verdict for one candidate topology."""
+
+    name: str
+    welfare: float
+    is_nash: bool
+
+
+def evaluate_topologies(
+    candidates: Sequence[Tuple[str, ChannelGraph]],
+    model: NetworkGameModel,
+    mode: str = "structured",
+    seed: Optional[int] = 0,
+) -> List[TopologyWelfare]:
+    """Welfare + NE verdict for each named candidate graph."""
+    out = []
+    for name, graph in candidates:
+        out.append(
+            TopologyWelfare(
+                name=name,
+                welfare=social_welfare(graph, model),
+                is_nash=check_nash(graph, model, mode=mode, seed=seed).is_nash,
+            )
+        )
+    return out
+
+
+def price_of_anarchy(
+    candidates: Sequence[Tuple[str, ChannelGraph]],
+    model: NetworkGameModel,
+    mode: str = "structured",
+    seed: Optional[int] = 0,
+) -> Tuple[float, List[TopologyWelfare]]:
+    """PoA restricted to ``candidates``: OPT welfare / worst stable welfare.
+
+    Follows the creation-games convention for utility (not cost) games.
+    Raises when no candidate is stable (PoA undefined on the family).
+    Welfare signs are handled by shifting: ratios of possibly-negative
+    welfare are meaningless, so we report
+    ``(best - worst_stable) / |best|`` as a *welfare gap* when the worst
+    stable welfare is non-positive, and the classic ratio otherwise.
+    """
+    results = evaluate_topologies(candidates, model, mode=mode, seed=seed)
+    stable = [r for r in results if r.is_nash and not math.isinf(r.welfare)]
+    if not stable:
+        raise InvalidParameter("no stable candidate; PoA undefined")
+    best = max(
+        (r.welfare for r in results if not math.isinf(r.welfare)),
+        default=-math.inf,
+    )
+    worst_stable = min(r.welfare for r in stable)
+    if worst_stable > 0:
+        poa = best / worst_stable
+    else:
+        scale = abs(best) if best != 0 else 1.0
+        poa = (best - worst_stable) / scale
+    return poa, results

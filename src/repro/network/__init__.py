@@ -1,0 +1,71 @@
+"""PCN substrate: channels, the channel graph, fees, routing, betweenness."""
+
+from .betweenness import (
+    BetweennessResult,
+    pair_weighted_betweenness,
+    pair_weighted_betweenness_exact,
+    uniform_pair_weight,
+)
+from .channel import Channel, PaymentRecord
+from .htlc import Htlc, HtlcError, HtlcPayment, HtlcRouter, HtlcState
+from .lifecycle import (
+    ChannelLifecycle,
+    CloseMode,
+    LifecycleCosts,
+    sample_close_mode,
+)
+from .mpp import MppResult, MppRouter
+from .rebalancing import (
+    ChannelImbalance,
+    auto_rebalance,
+    channel_imbalances,
+    execute_rebalance,
+    find_rebalancing_cycle,
+)
+from .fees import (
+    ConstantFee,
+    FeeFunction,
+    LinearFee,
+    PiecewiseLinearFee,
+    average_fee,
+)
+from .graph import ChannelGraph
+from .reduced import feasible_pairs, infeasible_edges, reduced_digraph
+from .routing import PaymentOutcome, Route, Router
+
+__all__ = [
+    "BetweennessResult",
+    "Channel",
+    "ChannelGraph",
+    "ChannelImbalance",
+    "ChannelLifecycle",
+    "CloseMode",
+    "ConstantFee",
+    "LifecycleCosts",
+    "sample_close_mode",
+    "FeeFunction",
+    "Htlc",
+    "HtlcError",
+    "HtlcPayment",
+    "HtlcRouter",
+    "HtlcState",
+    "LinearFee",
+    "MppResult",
+    "MppRouter",
+    "PaymentOutcome",
+    "PaymentRecord",
+    "PiecewiseLinearFee",
+    "Route",
+    "Router",
+    "auto_rebalance",
+    "average_fee",
+    "channel_imbalances",
+    "execute_rebalance",
+    "find_rebalancing_cycle",
+    "feasible_pairs",
+    "infeasible_edges",
+    "pair_weighted_betweenness",
+    "pair_weighted_betweenness_exact",
+    "reduced_digraph",
+    "uniform_pair_weight",
+]

@@ -1,0 +1,170 @@
+"""Bidirectional payment channels with per-direction balances.
+
+A payment channel between two users ``u`` and ``v`` is a joint account
+funded on-chain. Following Section II-A of the paper, we model it as two
+directed edges, one per direction, whose *balances* bound the amount that
+can be sent in that direction. A successful payment of size ``x`` from
+``u`` to ``v`` moves ``x`` coins from ``u``'s balance to ``v``'s balance
+(Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from ..errors import InsufficientBalance, InvalidParameter
+
+__all__ = ["Channel", "PaymentRecord"]
+
+_channel_counter = itertools.count()
+
+
+def _next_channel_id() -> str:
+    return f"chan-{next(_channel_counter)}"
+
+
+@dataclass(frozen=True)
+class PaymentRecord:
+    """One balance update applied to a channel.
+
+    Attributes:
+        sender: endpoint that paid.
+        receiver: endpoint that was paid.
+        amount: coins moved.
+        timestamp: simulation time of the update (0.0 outside simulation).
+    """
+
+    sender: Hashable
+    receiver: Hashable
+    amount: float
+    timestamp: float = 0.0
+
+
+class Channel:
+    """A bidirectional payment channel with one balance per endpoint.
+
+    The channel's *capacity* (``balance(u) + balance(v)``) is invariant
+    under payments; only its split between the two sides moves.
+
+    Args:
+        u: first endpoint.
+        v: second endpoint.
+        balance_u: coins initially owned by ``u`` in the channel.
+        balance_v: coins initially owned by ``v`` in the channel.
+        channel_id: optional stable identifier; auto-generated when omitted.
+        record_history: keep a list of :class:`PaymentRecord` for auditing.
+    """
+
+    __slots__ = ("u", "v", "_balances", "channel_id", "_history")
+
+    def __init__(
+        self,
+        u: Hashable,
+        v: Hashable,
+        balance_u: float,
+        balance_v: float = 0.0,
+        channel_id: Optional[str] = None,
+        record_history: bool = False,
+    ) -> None:
+        if u == v:
+            raise InvalidParameter("a channel needs two distinct endpoints")
+        if balance_u < 0 or balance_v < 0:
+            raise InvalidParameter("channel balances must be non-negative")
+        self.u = u
+        self.v = v
+        self._balances = {u: float(balance_u), v: float(balance_v)}
+        self.channel_id = channel_id if channel_id is not None else _next_channel_id()
+        self._history: Optional[List[PaymentRecord]] = [] if record_history else None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def endpoints(self) -> Tuple[Hashable, Hashable]:
+        """The two channel parties, in creation order."""
+        return (self.u, self.v)
+
+    @property
+    def capacity(self) -> float:
+        """Total coins locked in the channel (payment-invariant)."""
+        return self._balances[self.u] + self._balances[self.v]
+
+    @property
+    def history(self) -> Tuple[PaymentRecord, ...]:
+        """Recorded payments (empty when history recording is off)."""
+        return tuple(self._history or ())
+
+    def balance(self, node: Hashable) -> float:
+        """Coins currently owned by ``node`` in this channel."""
+        self._check_endpoint(node)
+        return self._balances[node]
+
+    def other(self, node: Hashable) -> Hashable:
+        """The counterparty of ``node`` in this channel."""
+        self._check_endpoint(node)
+        return self.v if node == self.u else self.u
+
+    def can_send(self, sender: Hashable, amount: float) -> bool:
+        """Whether ``sender`` can currently push ``amount`` to the other side."""
+        self._check_endpoint(sender)
+        if amount < 0:
+            raise InvalidParameter(f"payment amount must be >= 0, got {amount}")
+        return self._balances[sender] >= amount
+
+    # -- mutation ----------------------------------------------------------
+
+    def send(self, sender: Hashable, amount: float, timestamp: float = 0.0) -> None:
+        """Move ``amount`` from ``sender`` to the counterparty.
+
+        Raises:
+            InsufficientBalance: if ``sender``'s balance is below ``amount``.
+        """
+        if not self.can_send(sender, amount):
+            raise InsufficientBalance(self._balances[sender], amount)
+        receiver = self.other(sender)
+        self._balances[sender] -= amount
+        self._balances[receiver] += amount
+        if self._history is not None:
+            self._history.append(PaymentRecord(sender, receiver, amount, timestamp))
+
+    def deposit(self, node: Hashable, amount: float) -> None:
+        """Add ``amount`` fresh coins to ``node``'s side (a splice-in)."""
+        self._check_endpoint(node)
+        if amount < 0:
+            raise InvalidParameter(f"deposit must be >= 0, got {amount}")
+        self._balances[node] += amount
+
+    def withdraw(self, node: Hashable, amount: float) -> None:
+        """Remove ``amount`` from ``node``'s side (splice-out / escrow).
+
+        Used by the HTLC layer to reserve in-flight funds: the coins leave
+        the spendable balance until the payment settles or fails.
+
+        Raises:
+            InsufficientBalance: if ``node``'s balance is below ``amount``.
+        """
+        self._check_endpoint(node)
+        if amount < 0:
+            raise InvalidParameter(f"withdrawal must be >= 0, got {amount}")
+        if self._balances[node] < amount:
+            raise InsufficientBalance(self._balances[node], amount)
+        self._balances[node] -= amount
+
+    # -- helpers -----------------------------------------------------------
+
+    def directed_views(self) -> Iterator[Tuple[Hashable, Hashable, float]]:
+        """Yield the channel as two directed edges ``(src, dst, balance)``."""
+        yield (self.u, self.v, self._balances[self.u])
+        yield (self.v, self.u, self._balances[self.v])
+
+    def _check_endpoint(self, node: Hashable) -> None:
+        if node not in self._balances:
+            raise InvalidParameter(f"{node!r} is not an endpoint of {self!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Channel({self.u!r} <-> {self.v!r}, "
+            f"balances=({self._balances[self.u]}, {self._balances[self.v]}), "
+            f"id={self.channel_id!r})"
+        )

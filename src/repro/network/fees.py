@@ -1,0 +1,139 @@
+"""Routing fee functions and the global average fee ``f_avg``.
+
+The paper abstracts all intermediaries' fee policies into one global fee
+function ``F : [0, T] -> R+`` and works with its average
+
+    f_avg = integral_0^T  p(t) * F(t) dt,
+
+where ``p`` is the probability density of transaction sizes (Section II-A).
+This module provides the standard fee-function shapes (constant, the
+Lightning ``base + proportional`` linear form, and piecewise-linear) and the
+numeric integration that turns a fee function plus a size distribution into
+``f_avg``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+import numpy as np
+
+_trapz = getattr(np, "trapezoid", getattr(np, "trapz", None))
+
+from ..errors import InvalidParameter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..transactions.sizes import TransactionSizeDistribution
+
+__all__ = [
+    "FeeFunction",
+    "ConstantFee",
+    "LinearFee",
+    "PiecewiseLinearFee",
+    "average_fee",
+]
+
+
+class FeeFunction(abc.ABC):
+    """A per-hop routing fee as a function of the transaction amount."""
+
+    @abc.abstractmethod
+    def __call__(self, amount: float) -> float:
+        """Fee charged for forwarding ``amount`` coins through one hop."""
+
+    def vectorised(self, amounts: np.ndarray) -> np.ndarray:
+        """Evaluate on an array of amounts (default: python loop)."""
+        return np.array([self(float(a)) for a in amounts], dtype=float)
+
+
+class ConstantFee(FeeFunction):
+    """A flat fee independent of the transaction amount."""
+
+    def __init__(self, fee: float) -> None:
+        if fee < 0:
+            raise InvalidParameter(f"fee must be >= 0, got {fee}")
+        self.fee = fee
+
+    def __call__(self, amount: float) -> float:
+        return self.fee
+
+    def vectorised(self, amounts: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(amounts, dtype=float), self.fee)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantFee({self.fee})"
+
+
+class LinearFee(FeeFunction):
+    """Lightning-style fee: ``base + rate * amount``.
+
+    In the real Lightning Network ``base`` is ``base_fee_msat`` and ``rate``
+    is ``fee_rate_ppm / 1e6``; here both are plain coin units.
+    """
+
+    def __init__(self, base: float, rate: float) -> None:
+        if base < 0 or rate < 0:
+            raise InvalidParameter("base and rate must be >= 0")
+        self.base = base
+        self.rate = rate
+
+    def __call__(self, amount: float) -> float:
+        if amount < 0:
+            raise InvalidParameter(f"amount must be >= 0, got {amount}")
+        return self.base + self.rate * amount
+
+    def vectorised(self, amounts: np.ndarray) -> np.ndarray:
+        return self.base + self.rate * np.asarray(amounts, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearFee(base={self.base}, rate={self.rate})"
+
+
+class PiecewiseLinearFee(FeeFunction):
+    """A fee defined by linear interpolation between ``(amount, fee)`` knots.
+
+    Amounts outside the knot range are clamped to the boundary fees, which
+    matches how node operators publish stepped fee schedules.
+    """
+
+    def __init__(self, knots: Sequence[Tuple[float, float]]) -> None:
+        if len(knots) < 2:
+            raise InvalidParameter("need at least two knots")
+        xs = [k[0] for k in knots]
+        ys = [k[1] for k in knots]
+        if any(x1 >= x2 for x1, x2 in zip(xs, xs[1:])):
+            raise InvalidParameter("knot amounts must be strictly increasing")
+        if any(y < 0 for y in ys):
+            raise InvalidParameter("fees must be >= 0")
+        self._xs = np.asarray(xs, dtype=float)
+        self._ys = np.asarray(ys, dtype=float)
+
+    def __call__(self, amount: float) -> float:
+        return float(np.interp(amount, self._xs, self._ys))
+
+    def vectorised(self, amounts: np.ndarray) -> np.ndarray:
+        return np.interp(np.asarray(amounts, dtype=float), self._xs, self._ys)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        knots = list(zip(self._xs.tolist(), self._ys.tolist()))
+        return f"PiecewiseLinearFee({knots})"
+
+
+def average_fee(
+    fee: FeeFunction,
+    sizes: "TransactionSizeDistribution",
+    grid_points: int = 2001,
+) -> float:
+    """Compute ``f_avg = E[F(t)]`` for transaction sizes ``t ~ sizes``.
+
+    Uses trapezoidal integration of ``pdf(t) * F(t)`` over the size support;
+    ``grid_points`` controls accuracy (the default is ample for the smooth
+    fee shapes above).
+    """
+    lo, hi = sizes.support()
+    if not hi > lo:
+        raise InvalidParameter("size distribution support must be non-degenerate")
+    grid = np.linspace(lo, hi, grid_points)
+    integrand = sizes.pdf(grid) * fee.vectorised(grid)
+    return float(_trapz(integrand, grid))

@@ -1,0 +1,276 @@
+"""The payment channel network graph.
+
+:class:`ChannelGraph` is the central substrate data structure: a multigraph
+of :class:`~repro.network.channel.Channel` objects. It supports the views
+the rest of the library needs:
+
+* an *undirected* unit-weight view for hop distances ``d(u, v)``;
+* a *directed* view with per-direction balances for capacity-aware routing
+  and for the reduced subgraph ``G'`` of Section II-B;
+* in-degree counts used by the modified-Zipf ranking of Section II-B (each
+  bidirectional channel contributes one in-edge to each endpoint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..errors import ChannelNotFound, DuplicateChannel, InvalidParameter, NodeNotFound
+from .channel import Channel
+
+__all__ = ["ChannelGraph"]
+
+
+class ChannelGraph:
+    """A multigraph of payment channels.
+
+    Nodes are arbitrary hashables; channels are :class:`Channel` objects.
+    Parallel channels between the same endpoints are allowed (the paper's
+    action set Ω may contain the same endpoint with different funds).
+    """
+
+    def __init__(self) -> None:
+        self._channels: Dict[str, Channel] = {}
+        self._adjacency: Dict[Hashable, Set[str]] = {}
+        self._version = 0  # bumped on every mutation; used for view caching
+        self._cached_undirected: Optional[Tuple[int, nx.Graph]] = None
+        self._cached_directed: Optional[Tuple[int, nx.DiGraph]] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        """Register ``node`` (no-op when it already exists)."""
+        self._adjacency.setdefault(node, set())
+        self._version += 1
+
+    def add_channel(
+        self,
+        u: Hashable,
+        v: Hashable,
+        balance_u: float,
+        balance_v: float = 0.0,
+        channel_id: Optional[str] = None,
+        record_history: bool = False,
+    ) -> Channel:
+        """Open a channel between ``u`` and ``v`` and return it.
+
+        Endpoints are created implicitly. ``balance_u``/``balance_v`` are the
+        coins each side locks at creation.
+        """
+        channel = Channel(
+            u, v, balance_u, balance_v, channel_id=channel_id,
+            record_history=record_history,
+        )
+        if channel.channel_id in self._channels:
+            raise DuplicateChannel(
+                f"channel id {channel.channel_id!r} already present"
+            )
+        self.add_node(u)
+        self.add_node(v)
+        self._channels[channel.channel_id] = channel
+        self._adjacency[u].add(channel.channel_id)
+        self._adjacency[v].add(channel.channel_id)
+        self._version += 1
+        return channel
+
+    def remove_channel(self, channel_id: str) -> Channel:
+        """Close and remove a channel, returning it."""
+        try:
+            channel = self._channels.pop(channel_id)
+        except KeyError:
+            raise ChannelNotFound(None, None, channel_id) from None
+        self._adjacency[channel.u].discard(channel_id)
+        self._adjacency[channel.v].discard(channel_id)
+        self._version += 1
+        return channel
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove ``node`` and every channel incident to it."""
+        if node not in self._adjacency:
+            raise NodeNotFound(node)
+        for channel_id in list(self._adjacency[node]):
+            self.remove_channel(channel_id)
+        del self._adjacency[node]
+        self._version += 1
+
+    def copy(self) -> "ChannelGraph":
+        """Deep copy (channel balances are copied, history is dropped)."""
+        clone = ChannelGraph()
+        for node in self._adjacency:
+            clone.add_node(node)
+        for channel in self._channels.values():
+            clone.add_channel(
+                channel.u,
+                channel.v,
+                channel.balance(channel.u),
+                channel.balance(channel.v),
+                channel_id=channel.channel_id,
+            )
+        return clone
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[Hashable, ...]:
+        return tuple(self._adjacency)
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        return tuple(self._channels.values())
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._adjacency
+
+    def num_channels(self) -> int:
+        return len(self._channels)
+
+    def has_node(self, node: Hashable) -> bool:
+        return node in self._adjacency
+
+    def channel(self, channel_id: str) -> Channel:
+        try:
+            return self._channels[channel_id]
+        except KeyError:
+            raise ChannelNotFound(None, None, channel_id) from None
+
+    def channels_of(self, node: Hashable) -> List[Channel]:
+        """All channels incident to ``node``."""
+        if node not in self._adjacency:
+            raise NodeNotFound(node)
+        return [self._channels[cid] for cid in sorted(self._adjacency[node])]
+
+    def channels_between(self, u: Hashable, v: Hashable) -> List[Channel]:
+        """All (parallel) channels whose endpoints are exactly ``{u, v}``."""
+        if u not in self._adjacency:
+            raise NodeNotFound(u)
+        if v not in self._adjacency:
+            raise NodeNotFound(v)
+        ids = self._adjacency[u] & self._adjacency[v]
+        return [self._channels[cid] for cid in sorted(ids)]
+
+    def has_channel(self, u: Hashable, v: Hashable) -> bool:
+        if u not in self._adjacency or v not in self._adjacency:
+            return False
+        return bool(self._adjacency[u] & self._adjacency[v])
+
+    def neighbors(self, node: Hashable) -> List[Hashable]:
+        """Distinct counterparties of ``node``."""
+        seen: Set[Hashable] = set()
+        out: List[Hashable] = []
+        for channel in self.channels_of(node):
+            other = channel.other(node)
+            if other not in seen:
+                seen.add(other)
+                out.append(other)
+        return out
+
+    def degree(self, node: Hashable) -> int:
+        """Number of channels incident to ``node`` (parallel channels count)."""
+        if node not in self._adjacency:
+            raise NodeNotFound(node)
+        return len(self._adjacency[node])
+
+    def in_degree(self, node: Hashable) -> int:
+        """In-degree in the two-directed-edges-per-channel view.
+
+        Every bidirectional channel contributes exactly one incoming edge to
+        each endpoint, so this equals :meth:`degree`. Kept as a separate
+        method because the paper's ranking (Section II-B) is phrased in
+        terms of in-degree.
+        """
+        return self.degree(node)
+
+    def total_capacity(self) -> float:
+        return sum(c.capacity for c in self._channels.values())
+
+    def balance_of(self, node: Hashable) -> float:
+        """Total coins ``node`` owns across all of its channels."""
+        return sum(c.balance(node) for c in self.channels_of(node))
+
+    def directed_edges(self) -> Iterator[Tuple[Hashable, Hashable, float]]:
+        """Yield every directed edge ``(src, dst, balance)`` once per channel."""
+        for channel in self._channels.values():
+            yield from channel.directed_views()
+
+    # -- networkx views ---------------------------------------------------------
+
+    def to_undirected(self) -> nx.Graph:
+        """Simple undirected unit-weight view (parallel channels collapsed).
+
+        The view is cached and invalidated on any structural mutation; the
+        cache makes repeated distance queries cheap during optimisation.
+        """
+        if self._cached_undirected is not None:
+            version, graph = self._cached_undirected
+            if version == self._version:
+                return graph
+        graph = nx.Graph()
+        graph.add_nodes_from(self._adjacency)
+        for channel in self._channels.values():
+            if graph.has_edge(channel.u, channel.v):
+                graph[channel.u][channel.v]["capacity"] += channel.capacity
+            else:
+                graph.add_edge(channel.u, channel.v, capacity=channel.capacity)
+        self._cached_undirected = (self._version, graph)
+        return graph
+
+    def to_directed(self, min_balance: float = 0.0) -> nx.DiGraph:
+        """Directed view with aggregated per-direction balances.
+
+        Edges whose balance is strictly below ``min_balance`` are omitted;
+        with ``min_balance = x`` this is the reduced subgraph ``G'`` of
+        Section II-B for transactions of size ``x``.
+
+        Note: balances change under simulation, so the directed view is only
+        cached for ``min_balance == 0``.
+        """
+        if min_balance == 0.0 and self._cached_directed is not None:
+            version, graph = self._cached_directed
+            if version == self._version:
+                return graph
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._adjacency)
+        for src, dst, balance in self.directed_edges():
+            if graph.has_edge(src, dst):
+                graph[src][dst]["balance"] += balance
+            else:
+                graph.add_edge(src, dst, balance=balance)
+        if min_balance > 0.0:
+            to_drop = [
+                (s, d)
+                for s, d, data in graph.edges(data=True)
+                if data["balance"] < min_balance
+            ]
+            graph.remove_edges_from(to_drop)
+        elif min_balance < 0.0:
+            raise InvalidParameter("min_balance must be >= 0")
+        else:
+            self._cached_directed = (self._version, graph)
+        return graph
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Hashable, Hashable]],
+        balance: float = 1.0,
+    ) -> "ChannelGraph":
+        """Build a graph from undirected edge pairs, each side locking
+        ``balance`` coins. Convenient for tests and topology studies where
+        only the structure matters."""
+        graph = cls()
+        for u, v in edges:
+            graph.add_channel(u, v, balance, balance)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChannelGraph(nodes={len(self._adjacency)}, "
+            f"channels={len(self._channels)})"
+        )

@@ -1,0 +1,236 @@
+"""Hash time-locked contracts: atomic multi-hop payments (footnote 1).
+
+The paper routes multi-hop payments assuming "techniques, namely HTLCs, to
+ensure that the transactions on a path will be executed atomically, either
+all or none". This module implements that substrate: a payment first
+*locks* funds hop by hop from the sender toward the receiver (each hop
+reserving the forwarded amount from the upstream party's balance), then
+either *settles* (receiver reveals the preimage; funds move, fees stick)
+or *fails* (a hop cannot lock; every reservation unwinds). Between lock
+and resolution the reserved funds are unavailable to other payments —
+which is exactly the in-flight-capital effect that makes the opportunity
+cost of Section II-C real.
+
+Timeouts decrement per hop (like Lightning's CLTV deltas); an expired
+in-flight HTLC can be cancelled by anyone, restoring upstream balances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError, RoutingError
+from .channel import Channel
+from .fees import ConstantFee, FeeFunction
+from .graph import ChannelGraph
+
+__all__ = ["HtlcError", "HtlcState", "Htlc", "HtlcPayment", "HtlcRouter"]
+
+_payment_ids = itertools.count()
+
+
+class HtlcError(ReproError):
+    """An HTLC operation violated the protocol state machine."""
+
+
+class HtlcState(Enum):
+    """Lifecycle of one in-flight payment."""
+
+    PENDING = "pending"      # locks placed, awaiting settle/fail
+    SETTLED = "settled"      # preimage revealed, funds finalised
+    FAILED = "failed"        # unwound, balances restored
+
+
+@dataclass
+class Htlc:
+    """One hop's conditional payment: ``amount`` reserved from ``sender``."""
+
+    channel: Channel
+    sender: Hashable
+    amount: float
+    expiry: int
+
+
+@dataclass
+class HtlcPayment:
+    """A chain of per-hop HTLCs for one multi-hop payment."""
+
+    payment_id: int
+    path: Tuple[Hashable, ...]
+    amount: float
+    state: HtlcState = HtlcState.PENDING
+    hops: List[Htlc] = field(default_factory=list)
+    fees_per_node: Dict[Hashable, float] = field(default_factory=dict)
+
+    @property
+    def sender(self) -> Hashable:
+        return self.path[0]
+
+    @property
+    def receiver(self) -> Hashable:
+        return self.path[-1]
+
+    @property
+    def total_locked(self) -> float:
+        return sum(h.amount for h in self.hops)
+
+
+class HtlcRouter:
+    """Two-phase (lock / settle-or-fail) multi-hop payment execution.
+
+    Unlike :class:`~repro.network.routing.Router` (which applies balance
+    updates instantaneously), the HTLC router separates locking from
+    settlement so concurrent payments contend for capacity realistically.
+
+    Args:
+        graph: the channel graph (balances are mutated by lock/settle).
+        fee: per-hop fee function.
+        base_expiry: timeout (abstract blocks) granted to the final hop;
+            each earlier hop adds ``expiry_delta``.
+        expiry_delta: per-hop timeout increment.
+    """
+
+    def __init__(
+        self,
+        graph: ChannelGraph,
+        fee: Optional[FeeFunction] = None,
+        base_expiry: int = 10,
+        expiry_delta: int = 40,
+    ) -> None:
+        if base_expiry <= 0 or expiry_delta < 0:
+            raise HtlcError("expiry parameters must be positive")
+        self.graph = graph
+        self.fee = fee if fee is not None else ConstantFee(0.0)
+        self.base_expiry = base_expiry
+        self.expiry_delta = expiry_delta
+        self._in_flight: Dict[int, HtlcPayment] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _hop_amounts(self, hops: int, amount: float) -> List[float]:
+        amounts = [amount]
+        for _ in range(hops - 1):
+            amounts.insert(0, amounts[0] + self.fee(amounts[0]))
+        return amounts
+
+    def _pick_channel(
+        self, src: Hashable, dst: Hashable, amount: float
+    ) -> Optional[Channel]:
+        best: Optional[Channel] = None
+        for channel in self.graph.channels_between(src, dst):
+            if channel.balance(src) >= amount and (
+                best is None or channel.balance(src) > best.balance(src)
+            ):
+                best = channel
+        return best
+
+    # -- the protocol -----------------------------------------------------------
+
+    def lock(self, path: Sequence[Hashable], amount: float) -> HtlcPayment:
+        """Phase 1: reserve funds along ``path`` for ``amount``.
+
+        Walks sender -> receiver placing one HTLC per hop. If any hop
+        lacks balance, all earlier reservations are unwound and the
+        payment is returned in the FAILED state.
+        """
+        if len(path) < 2:
+            raise RoutingError("path needs at least one hop")
+        if amount <= 0:
+            raise HtlcError(f"amount must be > 0, got {amount}")
+        hops = len(path) - 1
+        hop_amounts = self._hop_amounts(hops, amount)
+        payment = HtlcPayment(
+            payment_id=next(_payment_ids),
+            path=tuple(path),
+            amount=amount,
+        )
+        expiry = self.base_expiry + self.expiry_delta * (hops - 1)
+        for (src, dst), hop_amount in zip(zip(path, path[1:]), hop_amounts):
+            channel = self._pick_channel(src, dst, hop_amount)
+            if channel is None:
+                self._unwind(payment)
+                payment.state = HtlcState.FAILED
+                return payment
+            # reserve: the hop amount leaves the sender's spendable balance
+            # into escrow; settlement decides whether it lands on the other
+            # side (settle) or returns (fail/expire).
+            channel.withdraw(src, hop_amount)
+            payment.hops.append(
+                Htlc(channel=channel, sender=src, amount=hop_amount,
+                     expiry=expiry)
+            )
+            expiry -= self.expiry_delta
+        self._in_flight[payment.payment_id] = payment
+        return payment
+
+    def settle(self, payment: HtlcPayment) -> None:
+        """Phase 2a: the receiver reveals the preimage; funds finalise.
+
+        Each hop's reserved amount moves to the downstream party; the
+        difference between a hop's inbound and outbound amounts stays with
+        the intermediary as its fee.
+        """
+        self._require_pending(payment)
+        for htlc in payment.hops:
+            receiver = htlc.channel.other(htlc.sender)
+            htlc.channel.deposit(receiver, htlc.amount)
+        amounts = [h.amount for h in payment.hops]
+        for node, inbound, outbound in zip(
+            payment.path[1:-1], amounts, amounts[1:]
+        ):
+            payment.fees_per_node[node] = (
+                payment.fees_per_node.get(node, 0.0) + inbound - outbound
+            )
+        payment.state = HtlcState.SETTLED
+        self._in_flight.pop(payment.payment_id, None)
+
+    def fail(self, payment: HtlcPayment) -> None:
+        """Phase 2b: unwind every reservation; balances fully restored."""
+        self._require_pending(payment)
+        self._unwind(payment)
+        payment.state = HtlcState.FAILED
+        self._in_flight.pop(payment.payment_id, None)
+
+    def expire(self, payment: HtlcPayment, height: int) -> bool:
+        """Cancel a pending payment whose first hop has timed out.
+
+        Returns True when the payment was expired (height past the first
+        hop's expiry), False when it is still live.
+        """
+        self._require_pending(payment)
+        if not payment.hops or height < payment.hops[0].expiry:
+            return False
+        self.fail(payment)
+        return True
+
+    def pay(self, path: Sequence[Hashable], amount: float) -> HtlcPayment:
+        """Lock and immediately settle (the happy path) or fail."""
+        payment = self.lock(path, amount)
+        if payment.state is HtlcState.PENDING:
+            self.settle(payment)
+        return payment
+
+    # -- internals ---------------------------------------------------------------
+
+    def _unwind(self, payment: HtlcPayment) -> None:
+        for htlc in reversed(payment.hops):
+            htlc.channel.deposit(htlc.sender, htlc.amount)
+        payment.hops.clear()
+
+    def _require_pending(self, payment: HtlcPayment) -> None:
+        if payment.state is not HtlcState.PENDING:
+            raise HtlcError(
+                f"payment {payment.payment_id} is {payment.state.value}, "
+                "not pending"
+            )
+
+    @property
+    def in_flight(self) -> Tuple[HtlcPayment, ...]:
+        return tuple(self._in_flight.values())
+
+    def locked_capital(self) -> float:
+        """Total coins currently reserved by pending payments."""
+        return sum(p.total_locked for p in self._in_flight.values())

@@ -1,0 +1,184 @@
+"""Off-chain rebalancing: replenishing depleted channels via cycles.
+
+The paper motivates stability analysis partly by its implications for
+"finding off-chain rebalancing cycles for existing users to replenish
+depleted channels" (Section IV, citing Hide & Seek [30]). This module
+implements the primitive: a node whose channel toward some neighbor is
+depleted routes a *circular self-payment* — out through a channel where it
+holds surplus, around the network, and back in through the depleted
+channel — shifting its own liquidity without touching anyone's net worth.
+
+Executed atomically over the HTLC layer, so a failed cycle leaves every
+balance untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import NodeNotFound, RoutingError
+from .graph import ChannelGraph
+from .htlc import HtlcRouter, HtlcState
+
+__all__ = [
+    "ChannelImbalance",
+    "channel_imbalances",
+    "find_rebalancing_cycle",
+    "execute_rebalance",
+    "auto_rebalance",
+]
+
+
+@dataclass(frozen=True)
+class ChannelImbalance:
+    """How far a channel's split deviates from balanced, from one side."""
+
+    channel_id: str
+    node: Hashable
+    counterparty: Hashable
+    local_balance: float
+    capacity: float
+
+    @property
+    def local_ratio(self) -> float:
+        return self.local_balance / self.capacity if self.capacity else 0.0
+
+    @property
+    def skew(self) -> float:
+        """Signed deviation from 0.5 (negative = depleted on our side)."""
+        return self.local_ratio - 0.5
+
+
+def channel_imbalances(
+    graph: ChannelGraph, node: Hashable
+) -> List[ChannelImbalance]:
+    """Imbalances of every channel of ``node``, most depleted first."""
+    if node not in graph:
+        raise NodeNotFound(node)
+    out = [
+        ChannelImbalance(
+            channel_id=channel.channel_id,
+            node=node,
+            counterparty=channel.other(node),
+            local_balance=channel.balance(node),
+            capacity=channel.capacity,
+        )
+        for channel in graph.channels_of(node)
+    ]
+    out.sort(key=lambda imbalance: imbalance.skew)
+    return out
+
+
+def find_rebalancing_cycle(
+    graph: ChannelGraph,
+    node: Hashable,
+    amount: float,
+    in_neighbor: Optional[Hashable] = None,
+    out_neighbor: Optional[Hashable] = None,
+) -> List[Hashable]:
+    """A cycle ``node -> out -> ... -> in -> node`` able to carry ``amount``.
+
+    ``in_neighbor`` is the counterparty of the *depleted* channel (funds
+    will flow back to ``node`` through it); ``out_neighbor`` the channel
+    with surplus. When omitted, the most skewed channels are used.
+
+    Raises:
+        RoutingError: when no feasible cycle exists.
+    """
+    if amount <= 0:
+        raise RoutingError("rebalance amount must be > 0")
+    imbalances = channel_imbalances(graph, node)
+    if len(imbalances) < 2:
+        raise RoutingError("rebalancing needs at least two channels")
+    if in_neighbor is None:
+        in_neighbor = imbalances[0].counterparty  # most depleted side
+    if out_neighbor is None:
+        candidates = [
+            i for i in reversed(imbalances) if i.counterparty != in_neighbor
+        ]
+        if not candidates:
+            raise RoutingError("no distinct surplus channel available")
+        out_neighbor = candidates[0].counterparty
+    if in_neighbor == out_neighbor:
+        raise RoutingError("in and out neighbors must differ")
+
+    reduced = graph.to_directed(min_balance=amount)
+    # middle path: out_neighbor -> in_neighbor, not through `node`
+    if node in reduced:
+        reduced = reduced.copy()
+        reduced.remove_node(node)
+    try:
+        middle = nx.shortest_path(reduced, out_neighbor, in_neighbor)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        raise RoutingError(
+            f"no path {out_neighbor!r} -> {in_neighbor!r} carrying {amount}"
+        ) from None
+    cycle = [node] + middle + [node]
+    # first hop feasibility (node -> out_neighbor) and last (in -> node)
+    first_ok = any(
+        c.balance(node) >= amount for c in graph.channels_between(node, out_neighbor)
+    )
+    last_ok = any(
+        c.balance(in_neighbor) >= amount
+        for c in graph.channels_between(in_neighbor, node)
+    )
+    if not first_ok or not last_ok:
+        raise RoutingError("terminal hops lack balance for the cycle")
+    return cycle
+
+
+def execute_rebalance(
+    graph: ChannelGraph,
+    cycle: List[Hashable],
+    amount: float,
+    router: Optional[HtlcRouter] = None,
+) -> bool:
+    """Atomically push ``amount`` around ``cycle`` (HTLC semantics).
+
+    Returns True on success; on failure all balances are unchanged.
+    """
+    if len(cycle) < 3 or cycle[0] != cycle[-1]:
+        raise RoutingError("cycle must start and end at the same node")
+    router = router if router is not None else HtlcRouter(graph)
+    payment = router.pay(cycle, amount)
+    return payment.state is HtlcState.SETTLED
+
+
+def auto_rebalance(
+    graph: ChannelGraph,
+    node: Hashable,
+    target_ratio: float = 0.35,
+    max_cycles: int = 10,
+) -> int:
+    """Repeatedly rebalance ``node``'s most depleted channel.
+
+    Moves half the deficit per cycle until every channel's local ratio is
+    at least ``target_ratio`` or no feasible cycle remains.
+
+    Returns the number of successful cycles.
+    """
+    if not 0 < target_ratio <= 0.5:
+        raise RoutingError("target_ratio must be in (0, 0.5]")
+    performed = 0
+    for _ in range(max_cycles):
+        imbalances = channel_imbalances(graph, node)
+        worst = imbalances[0] if imbalances else None
+        if worst is None or worst.local_ratio >= target_ratio:
+            break
+        deficit = (0.5 - worst.local_ratio) * worst.capacity
+        amount = deficit / 2.0
+        if amount <= 0:
+            break
+        try:
+            cycle = find_rebalancing_cycle(
+                graph, node, amount, in_neighbor=worst.counterparty
+            )
+        except RoutingError:
+            break
+        if not execute_rebalance(graph, cycle, amount):
+            break
+        performed += 1
+    return performed

@@ -1,0 +1,213 @@
+"""Capacity-aware shortest-path routing over a :class:`ChannelGraph`.
+
+Implements the multi-hop payment flow of Section II-A: a payment of size
+``x`` from ``s`` to ``r`` follows a shortest path in the reduced subgraph
+(every directed edge on the path must hold balance >= forwarded amount),
+intermediaries charge a per-hop fee, and on success every channel on the
+path updates its balances atomically (the HTLC all-or-nothing guarantee —
+footnote 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import RoutingError
+from .channel import Channel
+from .fees import ConstantFee, FeeFunction
+from .graph import ChannelGraph
+
+__all__ = ["Route", "PaymentOutcome", "Router"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A candidate payment path.
+
+    Attributes:
+        nodes: node sequence from sender to receiver inclusive.
+        amount: payment size delivered to the receiver.
+        fee: total routing fee paid by the sender to intermediaries.
+    """
+
+    nodes: Tuple[Hashable, ...]
+    amount: float
+    fee: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.nodes) - 1
+
+    @property
+    def intermediaries(self) -> Tuple[Hashable, ...]:
+        return self.nodes[1:-1]
+
+
+@dataclass
+class PaymentOutcome:
+    """Result of attempting one payment."""
+
+    success: bool
+    route: Optional[Route] = None
+    failure_reason: str = ""
+    fees_per_node: dict = field(default_factory=dict)
+
+
+class Router:
+    """Finds and executes payments on a channel graph.
+
+    Args:
+        graph: the network to route over.
+        fee: global per-hop fee function ``F`` (defaults to zero fees,
+            which matches the pure-topology studies of Section IV).
+        fee_forwarding: if True (default), each intermediary must forward
+            the downstream amount plus downstream fees, mirroring how
+            Lightning onions accumulate fees toward the sender. If False,
+            every hop forwards exactly ``amount`` (the paper's simplified
+            accounting).
+        path_selection: ``"first"`` always takes networkx's first shortest
+            path; ``"random"`` samples uniformly among *all* shortest paths,
+            which realises exactly the equal-split ``m_e(s,r)/m(s,r)``
+            traffic shares of Eq. 2 (used by the simulator).
+        seed: RNG seed for ``"random"`` selection.
+    """
+
+    def __init__(
+        self,
+        graph: ChannelGraph,
+        fee: Optional[FeeFunction] = None,
+        fee_forwarding: bool = True,
+        path_selection: str = "first",
+        seed: Optional[int] = None,
+    ) -> None:
+        if path_selection not in ("first", "random"):
+            raise RoutingError(
+                f"path_selection must be 'first' or 'random', got {path_selection!r}"
+            )
+        self.graph = graph
+        self.fee = fee if fee is not None else ConstantFee(0.0)
+        self.fee_forwarding = fee_forwarding
+        self.path_selection = path_selection
+        import numpy as np
+
+        self._rng = np.random.default_rng(seed)
+
+    # -- route discovery ------------------------------------------------------
+
+    def find_route(
+        self, sender: Hashable, receiver: Hashable, amount: float
+    ) -> Route:
+        """Shortest feasible route for ``amount`` in the reduced subgraph.
+
+        Raises:
+            RoutingError: when sender/receiver are absent or no directed
+                path with sufficient balances exists.
+        """
+        if sender == receiver:
+            raise RoutingError("sender and receiver must differ")
+        reduced = self.graph.to_directed(min_balance=amount)
+        if sender not in reduced or receiver not in reduced:
+            raise RoutingError(f"unknown endpoint in route {sender!r}->{receiver!r}")
+        try:
+            if self.path_selection == "random":
+                candidates = list(nx.all_shortest_paths(reduced, sender, receiver))
+                index = int(self._rng.integers(0, len(candidates)))
+                nodes = candidates[index]
+            else:
+                nodes = nx.shortest_path(reduced, sender, receiver)
+        except nx.NetworkXNoPath:
+            raise RoutingError(
+                f"no path with capacity {amount} from {sender!r} to {receiver!r}"
+            ) from None
+        hop_amounts = self._hop_amounts(len(nodes) - 1, amount)
+        total_fee = hop_amounts[0] - amount
+        return Route(tuple(nodes), amount, total_fee)
+
+    def _hop_amounts(self, hops: int, amount: float) -> List[float]:
+        """Amount entering each hop, sender-side first.
+
+        With fee forwarding, hop ``i`` carries the delivered amount plus
+        all fees owed to intermediaries downstream of hop ``i``.
+        """
+        if not self.fee_forwarding:
+            return [amount] * hops
+        amounts = [amount]
+        # walk backwards from the receiver; each earlier hop adds the fee
+        # of the intermediary that forwards it.
+        for _ in range(hops - 1):
+            inbound = amounts[0] + self.fee(amounts[0])
+            amounts.insert(0, inbound)
+        return amounts
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(
+        self,
+        sender: Hashable,
+        receiver: Hashable,
+        amount: float,
+        timestamp: float = 0.0,
+    ) -> PaymentOutcome:
+        """Find a route and apply it atomically.
+
+        On success, channel balances along the path are updated and the fee
+        earned by each intermediary is reported in ``fees_per_node``. On
+        failure nothing changes.
+        """
+        try:
+            route = self.find_route(sender, receiver, amount)
+        except RoutingError as exc:
+            return PaymentOutcome(success=False, failure_reason=str(exc))
+        hop_amounts = self._hop_amounts(route.hops, amount)
+        plan: List[Tuple[Channel, Hashable, float]] = []
+        for (src, dst), hop_amount in zip(
+            zip(route.nodes, route.nodes[1:]), hop_amounts
+        ):
+            channel = self._pick_channel(src, dst, hop_amount)
+            if channel is None:
+                return PaymentOutcome(
+                    success=False,
+                    failure_reason=(
+                        f"no single channel {src!r}->{dst!r} can carry "
+                        f"{hop_amount} (aggregate balance sufficed)"
+                    ),
+                )
+            plan.append((channel, src, hop_amount))
+        for channel, src, hop_amount in plan:
+            channel.send(src, hop_amount, timestamp=timestamp)
+        fees_per_node = {}
+        for node, inbound, outbound in zip(
+            route.intermediaries, hop_amounts, hop_amounts[1:]
+        ):
+            fees_per_node[node] = fees_per_node.get(node, 0.0) + (inbound - outbound)
+        if not self.fee_forwarding:
+            for node in route.intermediaries:
+                fees_per_node[node] = fees_per_node.get(node, 0.0) + self.fee(amount)
+        return PaymentOutcome(success=True, route=route, fees_per_node=fees_per_node)
+
+    def _pick_channel(
+        self, src: Hashable, dst: Hashable, amount: float
+    ) -> Optional[Channel]:
+        """Best single channel able to carry ``amount`` from src to dst.
+
+        Prefers the channel with the largest sender-side balance, which
+        keeps parallel channels evenly usable.
+        """
+        best: Optional[Channel] = None
+        for channel in self.graph.channels_between(src, dst):
+            balance = channel.balance(src)
+            if balance >= amount and (best is None or balance > best.balance(src)):
+                best = channel
+        return best
+
+    # -- fee quoting --------------------------------------------------------------
+
+    def quote_fee(self, path: Sequence[Hashable], amount: float) -> float:
+        """Total sender fee for pushing ``amount`` along ``path``."""
+        hops = len(path) - 1
+        if hops < 1:
+            raise RoutingError("path needs at least one hop")
+        return self._hop_amounts(hops, amount)[0] - amount

@@ -1,0 +1,21 @@
+"""Discrete-event payment simulation over channel graphs."""
+
+from .engine import SimulationEngine
+from .events import (
+    ChannelCloseEvent,
+    ChannelOpenEvent,
+    Event,
+    EventQueue,
+    PaymentEvent,
+)
+from .metrics import SimulationMetrics
+
+__all__ = [
+    "ChannelCloseEvent",
+    "ChannelOpenEvent",
+    "Event",
+    "EventQueue",
+    "PaymentEvent",
+    "SimulationEngine",
+    "SimulationMetrics",
+]

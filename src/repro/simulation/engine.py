@@ -1,0 +1,244 @@
+"""The discrete-event payment simulator.
+
+Drives a :class:`~repro.network.graph.ChannelGraph` with a Poisson payment
+workload: each arrival routes along a capacity-feasible shortest path,
+updates channel balances, and credits intermediaries their fees. This is
+the "simulation-only evaluation" substrate: it produces the empirical
+counterparts of the model's analytic quantities (``E_rev``, ``λ_e``,
+feasibility), which bench E11 compares against Eq. 2/Eq. 3 predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..errors import RoutingError, SimulationError
+from ..network.fees import FeeFunction
+from ..network.graph import ChannelGraph
+from ..network.htlc import HtlcRouter, HtlcState
+from ..network.routing import Router
+from ..transactions.workload import PoissonWorkload, Transaction
+from .events import (
+    ChannelCloseEvent,
+    ChannelOpenEvent,
+    Event,
+    EventQueue,
+    HtlcResolveEvent,
+    PaymentEvent,
+)
+from .metrics import SimulationMetrics
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Runs payment workloads against a channel graph.
+
+    Args:
+        graph: the network (mutated in place as balances move).
+        fee: global fee function for intermediaries.
+        fee_forwarding: see :class:`~repro.network.routing.Router`.
+        path_selection: shortest-path tie-breaking; defaults to
+            ``"random"`` so that long-run edge traffic realises the
+            equal-split shares of Eq. 2.
+        seed: RNG seed for path tie-breaking and hold-time sampling.
+        payment_mode: ``"instant"`` applies each payment atomically on
+            arrival; ``"htlc"`` locks funds on arrival and settles after
+            an exponential hold time (mean ``htlc_hold_mean``), so
+            concurrent payments contend for in-flight capital — the
+            opportunity-cost effect of Section II-C made concrete.
+        htlc_hold_mean: mean lock duration in ``"htlc"`` mode.
+    """
+
+    def __init__(
+        self,
+        graph: ChannelGraph,
+        fee: Optional[FeeFunction] = None,
+        fee_forwarding: bool = True,
+        path_selection: str = "random",
+        seed: Optional[int] = 0,
+        payment_mode: str = "instant",
+        htlc_hold_mean: float = 0.1,
+    ) -> None:
+        if payment_mode not in ("instant", "htlc"):
+            raise SimulationError(
+                f"payment_mode must be 'instant' or 'htlc', got {payment_mode!r}"
+            )
+        if htlc_hold_mean <= 0:
+            raise SimulationError("htlc_hold_mean must be > 0")
+        self.graph = graph
+        self.router = Router(
+            graph, fee=fee, fee_forwarding=fee_forwarding,
+            path_selection=path_selection, seed=seed,
+        )
+        self.payment_mode = payment_mode
+        self.htlc_hold_mean = htlc_hold_mean
+        self._htlc_router = HtlcRouter(graph, fee=fee)
+        self._pending_htlcs = {}
+        import numpy as np
+
+        self._hold_rng = np.random.default_rng(
+            seed + 1 if seed is not None else None
+        )
+        self.metrics = SimulationMetrics()
+        self._queue = EventQueue()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, event: Event) -> None:
+        self._queue.push(event)
+
+    def schedule_workload(
+        self, workload: PoissonWorkload, horizon: float
+    ) -> int:
+        """Schedule all arrivals of ``workload`` within ``[0, horizon)``.
+
+        Returns the number of payment events scheduled.
+        """
+        count = 0
+        for tx in workload.generate(horizon):
+            self.schedule(
+                PaymentEvent(
+                    time=tx.time,
+                    sender=tx.sender,
+                    receiver=tx.receiver,
+                    amount=tx.amount,
+                )
+            )
+            count += 1
+        return count
+
+    def schedule_transactions(self, transactions: Iterable[Transaction]) -> int:
+        """Schedule an explicit (pre-generated) transaction trace."""
+        count = 0
+        for tx in transactions:
+            self.schedule(
+                PaymentEvent(
+                    time=tx.time,
+                    sender=tx.sender,
+                    receiver=tx.receiver,
+                    amount=tx.amount,
+                )
+            )
+            count += 1
+        return count
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationMetrics:
+        """Process events in time order until the queue drains (or ``until``).
+
+        Returns the accumulated metrics; ``metrics.horizon`` is set to the
+        simulated span so rate comparisons are well-defined.
+        """
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            self._dispatch(event)
+        self.metrics.horizon = until if until is not None else self._now
+        return self.metrics
+
+    def _dispatch(self, event: Event) -> None:
+        if isinstance(event, PaymentEvent):
+            if self.payment_mode == "htlc":
+                self._handle_payment_htlc(event)
+            else:
+                self._handle_payment(event)
+        elif isinstance(event, HtlcResolveEvent):
+            self._handle_htlc_resolve(event)
+        elif isinstance(event, ChannelOpenEvent):
+            self.graph.add_channel(
+                event.u, event.v, event.balance_u, event.balance_v
+            )
+        elif isinstance(event, ChannelCloseEvent):
+            self.graph.remove_channel(event.channel_id)
+        else:
+            raise SimulationError(f"unknown event type {type(event).__name__}")
+
+    def _handle_payment(self, event: PaymentEvent) -> None:
+        metrics = self.metrics
+        metrics.attempted += 1
+        outcome = self.router.execute(
+            event.sender, event.receiver, event.amount, timestamp=event.time
+        )
+        if not outcome.success:
+            metrics.failed += 1
+            metrics.failure_reasons[_classify_failure(outcome.failure_reason)] += 1
+            return
+        metrics.succeeded += 1
+        metrics.volume_delivered += event.amount
+        metrics.sent[event.sender] += 1
+        metrics.received[event.receiver] += 1
+        route = outcome.route
+        metrics.fees_paid[event.sender] += route.fee
+        for node, fee in outcome.fees_per_node.items():
+            metrics.revenue[node] += fee
+        for src, dst in zip(route.nodes, route.nodes[1:]):
+            metrics.edge_traffic[(src, dst)] += 1
+
+
+    def _handle_payment_htlc(self, event: PaymentEvent) -> None:
+        """Lock now, settle after an exponential hold (HTLC semantics)."""
+        metrics = self.metrics
+        metrics.attempted += 1
+        try:
+            route = self.router.find_route(
+                event.sender, event.receiver, event.amount
+            )
+        except RoutingError as exc:
+            metrics.failed += 1
+            metrics.failure_reasons[_classify_failure(str(exc))] += 1
+            return
+        payment = self._htlc_router.lock(route.nodes, event.amount)
+        if payment.state is not HtlcState.PENDING:
+            metrics.failed += 1
+            metrics.failure_reasons["lock-contention"] += 1
+            return
+        metrics.htlc_locked_peak = max(
+            metrics.htlc_locked_peak, self._htlc_router.locked_capital()
+        )
+        self._pending_htlcs[payment.payment_id] = (payment, event)
+        hold = float(self._hold_rng.exponential(self.htlc_hold_mean))
+        self.schedule(
+            HtlcResolveEvent(time=event.time + hold, payment_id=payment.payment_id)
+        )
+
+    def _handle_htlc_resolve(self, event: HtlcResolveEvent) -> None:
+        entry = self._pending_htlcs.pop(event.payment_id, None)
+        if entry is None:
+            raise SimulationError(
+                f"resolve for unknown HTLC payment {event.payment_id}"
+            )
+        payment, origin = entry
+        self._htlc_router.settle(payment)
+        metrics = self.metrics
+        metrics.succeeded += 1
+        metrics.volume_delivered += origin.amount
+        metrics.sent[origin.sender] += 1
+        metrics.received[origin.receiver] += 1
+        metrics.fees_paid[origin.sender] += sum(
+            payment.fees_per_node.values()
+        )
+        for node, fee in payment.fees_per_node.items():
+            metrics.revenue[node] += fee
+        for src, dst in zip(payment.path, payment.path[1:]):
+            metrics.edge_traffic[(src, dst)] += 1
+
+
+def _classify_failure(reason: str) -> str:
+    """Collapse verbose failure strings into stable categories."""
+    if "no path" in reason:
+        return "no-capacity-path"
+    if "no single channel" in reason:
+        return "split-balance"
+    if "unknown endpoint" in reason:
+        return "unknown-endpoint"
+    return "other"

@@ -1,0 +1,98 @@
+"""Event types for the discrete-event PCN simulator.
+
+Payments execute instantaneously in the model, so the core loop is a
+time-ordered queue of arrival events; channel lifecycle events (open /
+close) are included so experiments can perturb topology mid-run (e.g.
+model a party unilaterally closing, Section II-C's cost discussion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = [
+    "Event",
+    "PaymentEvent",
+    "ChannelOpenEvent",
+    "ChannelCloseEvent",
+    "HtlcResolveEvent",
+    "EventQueue",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something that happens at a point in simulated time."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class PaymentEvent(Event):
+    """A payment intent entering the network."""
+
+    sender: Hashable = None
+    receiver: Hashable = None
+    amount: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChannelOpenEvent(Event):
+    """Open a channel between two nodes mid-simulation."""
+
+    u: Hashable = None
+    v: Hashable = None
+    balance_u: float = 0.0
+    balance_v: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChannelCloseEvent(Event):
+    """Close (remove) a channel by id mid-simulation."""
+
+    channel_id: str = ""
+
+
+@dataclass(frozen=True)
+class HtlcResolveEvent(Event):
+    """Settle a pending HTLC payment that finished its hold time."""
+
+    payment_id: int = -1
+
+
+class EventQueue:
+    """A stable min-heap of events ordered by time then insertion order."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._tiebreak = itertools.count()
+        self._last_popped_time = -float("inf")
+
+    def push(self, event: Event) -> None:
+        if event.time < self._last_popped_time:
+            raise SimulationError(
+                f"event at t={event.time} scheduled in the past "
+                f"(now t={self._last_popped_time})"
+            )
+        heapq.heappush(self._heap, (event.time, next(self._tiebreak), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        time, _count, event = heapq.heappop(self._heap)
+        self._last_popped_time = time
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,76 @@
+"""Per-node and per-edge accounting collected during simulation."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Tuple
+
+__all__ = ["SimulationMetrics"]
+
+Edge = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class SimulationMetrics:
+    """Counters accumulated over one simulation run.
+
+    Attributes:
+        attempted / succeeded / failed: payment counts.
+        volume_delivered: sum of successfully delivered amounts.
+        revenue: routing fees earned per node (as intermediary).
+        fees_paid: routing fees paid per node (as sender).
+        sent / received: successful payment counts per node.
+        edge_traffic: number of successful traversals per directed edge.
+        failure_reasons: failure-description -> count.
+        horizon: simulated time span covered (set by the engine).
+    """
+
+    attempted: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    volume_delivered: float = 0.0
+    revenue: Dict[Hashable, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    fees_paid: Dict[Hashable, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    sent: Dict[Hashable, int] = field(default_factory=lambda: defaultdict(int))
+    received: Dict[Hashable, int] = field(default_factory=lambda: defaultdict(int))
+    edge_traffic: Dict[Edge, int] = field(default_factory=lambda: defaultdict(int))
+    failure_reasons: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    horizon: float = 0.0
+    htlc_locked_peak: float = 0.0
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 0.0
+
+    @property
+    def pending(self) -> int:
+        """Payments locked but not yet resolved (HTLC mode, run(until=...))."""
+        return self.attempted - self.succeeded - self.failed
+
+    def revenue_rate(self, node: Hashable) -> float:
+        """Observed revenue per unit time — the empirical counterpart of
+        ``E_rev`` (Eq. 3); compared against the analytic value in E11."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.revenue.get(node, 0.0) / self.horizon
+
+    def edge_rate(self, src: Hashable, dst: Hashable) -> float:
+        """Observed traversals per unit time — the empirical ``λ_e``."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.edge_traffic.get((src, dst), 0) / self.horizon
+
+    def summary(self) -> str:
+        return (
+            f"payments: {self.succeeded}/{self.attempted} ok "
+            f"({self.success_rate:.1%}), volume={self.volume_delivered:.4g}, "
+            f"total revenue={sum(self.revenue.values()):.4g} "
+            f"over t={self.horizon:.4g}"
+        )

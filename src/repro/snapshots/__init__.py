@@ -1,0 +1,18 @@
+"""Synthetic Lightning snapshots and describegraph-style IO."""
+
+from .io import from_describegraph, load_snapshot, save_snapshot, to_describegraph
+from .synthetic import (
+    barabasi_albert_snapshot,
+    core_periphery_snapshot,
+    erdos_renyi_snapshot,
+)
+
+__all__ = [
+    "barabasi_albert_snapshot",
+    "core_periphery_snapshot",
+    "erdos_renyi_snapshot",
+    "from_describegraph",
+    "load_snapshot",
+    "save_snapshot",
+    "to_describegraph",
+]

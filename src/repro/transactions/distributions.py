@@ -1,0 +1,112 @@
+"""Who-transacts-with-whom distributions.
+
+The paper's headline model is the modified Zipf distribution (implemented
+in :mod:`repro.transactions.zipf`); prior work assumed uniform pairing.
+Both are provided behind one interface so algorithms and benches can swap
+the assumption and measure its effect (bench E12's ablations rely on this).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameter, NodeNotFound
+from ..network.graph import ChannelGraph
+
+__all__ = [
+    "TransactionDistribution",
+    "UniformDistribution",
+    "EmpiricalDistribution",
+]
+
+
+class TransactionDistribution(abc.ABC):
+    """Probability that a given sender transacts with a given receiver."""
+
+    @abc.abstractmethod
+    def probability(self, sender: Hashable, receiver: Hashable) -> float:
+        """``p_trans(sender, receiver)``; 0 when ``sender == receiver``."""
+
+    @abc.abstractmethod
+    def receivers(self, sender: Hashable) -> Dict[Hashable, float]:
+        """Full receiver distribution of ``sender`` (sums to 1)."""
+
+    def sample_receiver(
+        self, sender: Hashable, rng: np.random.Generator
+    ) -> Hashable:
+        """Draw one receiver for ``sender``."""
+        dist = self.receivers(sender)
+        nodes = list(dist)
+        probs = np.fromiter((dist[n] for n in nodes), dtype=float, count=len(nodes))
+        total = probs.sum()
+        if total <= 0:
+            raise InvalidParameter(f"receiver distribution of {sender!r} is empty")
+        probs /= total
+        index = rng.choice(len(nodes), p=probs)
+        return nodes[index]
+
+
+class UniformDistribution(TransactionDistribution):
+    """Every other node is an equally likely receiver (the model of [19])."""
+
+    def __init__(self, nodes: Sequence[Hashable]) -> None:
+        if len(nodes) < 2:
+            raise InvalidParameter("need at least two nodes")
+        self._nodes = list(nodes)
+        self._node_set = set(nodes)
+
+    @classmethod
+    def from_graph(cls, graph: ChannelGraph) -> "UniformDistribution":
+        return cls(list(graph.nodes))
+
+    def probability(self, sender: Hashable, receiver: Hashable) -> float:
+        if sender not in self._node_set:
+            raise NodeNotFound(sender)
+        if receiver == sender or receiver not in self._node_set:
+            return 0.0
+        return 1.0 / (len(self._nodes) - 1)
+
+    def receivers(self, sender: Hashable) -> Dict[Hashable, float]:
+        if sender not in self._node_set:
+            raise NodeNotFound(sender)
+        p = 1.0 / (len(self._nodes) - 1)
+        return {node: p for node in self._nodes if node != sender}
+
+
+class EmpiricalDistribution(TransactionDistribution):
+    """A distribution given explicitly as per-sender receiver weights.
+
+    Useful for feeding measured traffic matrices (or adversarial ones in
+    tests) through the same code paths as the analytic models. Weights are
+    normalised per sender.
+    """
+
+    def __init__(
+        self, weights: Mapping[Hashable, Mapping[Hashable, float]]
+    ) -> None:
+        self._table: Dict[Hashable, Dict[Hashable, float]] = {}
+        for sender, row in weights.items():
+            cleaned = {
+                receiver: float(weight)
+                for receiver, weight in row.items()
+                if receiver != sender and weight > 0
+            }
+            total = sum(cleaned.values())
+            if total <= 0:
+                raise InvalidParameter(
+                    f"sender {sender!r} has no positive receiver weight"
+                )
+            self._table[sender] = {r: w / total for r, w in cleaned.items()}
+
+    def probability(self, sender: Hashable, receiver: Hashable) -> float:
+        if sender not in self._table:
+            raise NodeNotFound(sender)
+        return self._table[sender].get(receiver, 0.0)
+
+    def receivers(self, sender: Hashable) -> Dict[Hashable, float]:
+        if sender not in self._table:
+            raise NodeNotFound(sender)
+        return dict(self._table[sender])

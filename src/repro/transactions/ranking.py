@@ -1,0 +1,99 @@
+"""Degree ranking and the tie-averaged rank factors of Section II-B.
+
+The modified Zipf distribution ranks, from the perspective of a user ``u``,
+every *other* node by in-degree (computed on the graph with ``u`` and its
+incident channels removed) and assigns each node ``v`` a *rank factor*
+
+    rf(v) = ( 1/r0^s + 1/(r0+1)^s + ... + 1/(r0+n(v)-1)^s ) / n(v)
+
+where ``r0 = r0(v)`` is the first (best) rank of ``v``'s in-degree class and
+``n(v)`` is the size of that class. Averaging over the tie block makes the
+probability of transacting with two equal-degree nodes equal, which is the
+paper's stated motivation for modifying plain Zipf.
+
+The paper's formula writes the last term as ``1/(r0(v)+n(v))^s``; summing
+``n(v)`` consecutive ranks starting at ``r0`` ends at ``r0+n(v)-1``, and we
+use that reading (the off-by-one in the text would double-count one rank
+between adjacent tie blocks and break normalisation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidParameter, NodeNotFound
+from ..network.graph import ChannelGraph
+
+__all__ = ["degree_ranking", "rank_factors", "rank_factors_from_degrees"]
+
+
+def degree_ranking(
+    graph: ChannelGraph, perspective: Optional[Hashable] = None
+) -> List[Tuple[Hashable, int]]:
+    """Nodes (excluding ``perspective``) with in-degrees, highest first.
+
+    When ``perspective`` is given, its incident channels are ignored when
+    counting degrees, matching the subgraph ``G' = G - u`` of Section II-B.
+    Ties are broken deterministically by node representation so results are
+    stable across runs; the rank *factors* are tie-invariant anyway.
+    """
+    if perspective is not None and perspective not in graph:
+        raise NodeNotFound(perspective)
+    degrees: Dict[Hashable, int] = {}
+    for node in graph.nodes:
+        if node == perspective:
+            continue
+        degree = 0
+        for channel in graph.channels_of(node):
+            if perspective is not None and perspective in channel.endpoints:
+                continue
+            degree += 1
+        degrees[node] = degree
+    ranked = sorted(degrees.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    return ranked
+
+
+def rank_factors_from_degrees(
+    degrees: Sequence[int], s: float
+) -> List[float]:
+    """Rank factors for a degree sequence sorted in non-increasing order.
+
+    Args:
+        degrees: in-degrees sorted highest first (rank 1 first).
+        s: Zipf scale parameter (>= 0).
+
+    Returns:
+        rank factor per position, same order as ``degrees``.
+    """
+    if s < 0:
+        raise InvalidParameter(f"Zipf parameter s must be >= 0, got {s}")
+    if any(d1 < d2 for d1, d2 in zip(degrees, degrees[1:])):
+        raise InvalidParameter("degrees must be sorted in non-increasing order")
+    factors: List[float] = []
+    i = 0
+    n = len(degrees)
+    while i < n:
+        j = i
+        while j < n and degrees[j] == degrees[i]:
+            j += 1
+        # tie block occupies ranks i+1 .. j (1-based)
+        block = [1.0 / float(rank) ** s for rank in range(i + 1, j + 1)]
+        avg = sum(block) / len(block)
+        factors.extend([avg] * (j - i))
+        i = j
+    return factors
+
+
+def rank_factors(
+    graph: ChannelGraph,
+    perspective: Optional[Hashable] = None,
+    s: float = 1.0,
+) -> Dict[Hashable, float]:
+    """Rank factor ``rf(v)`` of every node from ``perspective``'s view.
+
+    The returned factors are *unnormalised*; divide by their sum to obtain
+    transaction probabilities (see :class:`~repro.transactions.zipf.ModifiedZipf`).
+    """
+    ranked = degree_ranking(graph, perspective)
+    factors = rank_factors_from_degrees([d for _, d in ranked], s)
+    return {node: factor for (node, _), factor in zip(ranked, factors)}

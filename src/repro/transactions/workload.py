@@ -1,0 +1,106 @@
+"""Poisson payment workload generation (Section II-B's traffic process).
+
+Transactions are modelled as a marked Poisson process: network-wide
+arrivals at rate ``N`` per unit time; each arrival picks a sender
+(proportional to per-sender rates ``N_u``), a receiver from the
+transaction distribution, and a size from the size distribution. The
+superposition/thinning equivalence means this is the same process as
+"every sender u emits at rate N_u" — which is how the paper phrases it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameter
+from .distributions import TransactionDistribution
+from .sizes import FixedSize, TransactionSizeDistribution
+
+__all__ = ["Transaction", "PoissonWorkload"]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One payment intent."""
+
+    time: float
+    sender: Hashable
+    receiver: Hashable
+    amount: float
+
+
+class PoissonWorkload:
+    """Generates payment intents as a marked Poisson process.
+
+    Args:
+        distribution: receiver choice per sender (``p_trans``).
+        sender_rates: ``N_u`` per sender; senders with rate 0 never send.
+        sizes: payment-size distribution (defaults to fixed size 1).
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        distribution: TransactionDistribution,
+        sender_rates: Mapping[Hashable, float],
+        sizes: Optional[TransactionSizeDistribution] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.distribution = distribution
+        self._senders: List[Hashable] = [
+            node for node, rate in sender_rates.items() if rate > 0
+        ]
+        if not self._senders:
+            raise InvalidParameter("at least one sender must have positive rate")
+        rates = np.fromiter(
+            (sender_rates[node] for node in self._senders), dtype=float
+        )
+        self.total_rate = float(rates.sum())
+        self._sender_probs = rates / self.total_rate
+        self.sizes = sizes if sizes is not None else FixedSize(1.0)
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, horizon: float) -> Iterator[Transaction]:
+        """Yield transactions with arrival times in ``[0, horizon)``."""
+        if horizon <= 0:
+            raise InvalidParameter(f"horizon must be > 0, got {horizon}")
+        time = 0.0
+        while True:
+            time += self._rng.exponential(1.0 / self.total_rate)
+            if time >= horizon:
+                return
+            yield self._draw(time)
+
+    def generate_count(self, count: int) -> List[Transaction]:
+        """Exactly ``count`` transactions (times still Poisson-spaced)."""
+        if count < 0:
+            raise InvalidParameter(f"count must be >= 0, got {count}")
+        out: List[Transaction] = []
+        time = 0.0
+        for _ in range(count):
+            time += self._rng.exponential(1.0 / self.total_rate)
+            out.append(self._draw(time))
+        return out
+
+    def _draw(self, time: float) -> Transaction:
+        index = self._rng.choice(len(self._senders), p=self._sender_probs)
+        sender = self._senders[index]
+        receiver = self.distribution.sample_receiver(sender, self._rng)
+        amount = float(self.sizes.sample(self._rng, 1)[0])
+        return Transaction(time=time, sender=sender, receiver=receiver, amount=amount)
+
+    def empirical_pair_counts(
+        self, count: int
+    ) -> Dict[Hashable, Dict[Hashable, int]]:
+        """Sample ``count`` transactions and tabulate (sender, receiver) counts.
+
+        Used by tests to verify the generator matches ``p_trans``.
+        """
+        table: Dict[Hashable, Dict[Hashable, int]] = {}
+        for tx in self.generate_count(count):
+            row = table.setdefault(tx.sender, {})
+            row[tx.receiver] = row.get(tx.receiver, 0) + 1
+        return table

@@ -1,0 +1,46 @@
+"""Unit tests for the sweep driver."""
+
+from repro.analysis.sweeps import grid_points, run_sweep
+
+
+class TestGridPoints:
+    def test_cartesian_product(self):
+        points = list(grid_points({"a": [1, 2], "b": ["x", "y"]}))
+        assert len(points) == 4
+        assert {"a": 1, "b": "x"} in points
+        assert {"a": 2, "b": "y"} in points
+
+    def test_deterministic_order(self):
+        grid = {"a": [1, 2], "b": [3, 4]}
+        assert list(grid_points(grid)) == list(grid_points(grid))
+
+    def test_single_axis(self):
+        assert list(grid_points({"k": [5]})) == [{"k": 5}]
+
+    def test_empty_axis_yields_nothing(self):
+        assert list(grid_points({"k": []})) == []
+
+
+class TestRunSweep:
+    def test_merges_params_and_results(self):
+        rows = run_sweep(
+            {"x": [1, 2, 3]}, lambda x: {"square": x * x}
+        )
+        assert rows == [
+            {"x": 1, "square": 1},
+            {"x": 2, "square": 4},
+            {"x": 3, "square": 9},
+        ]
+
+    def test_results_override_params_on_clash(self):
+        rows = run_sweep({"x": [1]}, lambda x: {"x": 99})
+        assert rows == [{"x": 99}]
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(
+            {"x": [1, 2]},
+            lambda x: {},
+            progress=lambda i, point: seen.append((i, point["x"])),
+        )
+        assert seen == [(0, 1), (1, 2)]

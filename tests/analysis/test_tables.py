@@ -1,0 +1,55 @@
+"""Unit tests for table formatting."""
+
+from repro.analysis.tables import format_table, format_value
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_special_floats(self):
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+        assert format_value(float("nan")) == "nan"
+
+    def test_strings_and_ints(self):
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert len(lines) == 4  # header, divider, 2 rows
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_selection_and_order(self):
+        text = format_table(
+            [{"a": 1, "b": 2, "c": 3}], columns=["c", "a"]
+        )
+        header = text.splitlines()[0].split()
+        assert header == ["c", "a"]
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "2" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_alignment_consistent(self):
+        text = format_table(
+            [{"name": "x", "v": 1}, {"name": "longer-name", "v": 22}]
+        )
+        lines = text.splitlines()
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2

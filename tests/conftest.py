@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.graph import ChannelGraph
+from repro.params import ModelParameters
+
+
+@pytest.fixture
+def diamond() -> ChannelGraph:
+    """4-node diamond: a-b, b-c, c-d, b-d (all balances 5/5)."""
+    return ChannelGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("b", "d")], balance=5.0
+    )
+
+
+@pytest.fixture
+def line3() -> ChannelGraph:
+    """3-node line a-b-c with asymmetric balances."""
+    graph = ChannelGraph()
+    graph.add_channel("a", "b", 10.0, 2.0)
+    graph.add_channel("b", "c", 8.0, 1.0)
+    return graph
+
+
+@pytest.fixture
+def params() -> ModelParameters:
+    return ModelParameters()
+
+
+@pytest.fixture
+def cheap_params() -> ModelParameters:
+    """Parameters where channels are cheap relative to traffic (profitable)."""
+    return ModelParameters(
+        onchain_cost=0.05,
+        opportunity_rate=0.001,
+        fee_avg=0.5,
+        fee_out_avg=0.1,
+        total_tx_rate=200.0,
+        user_tx_rate=5.0,
+        zipf_s=1.0,
+    )

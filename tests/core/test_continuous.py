@@ -1,0 +1,111 @@
+"""Unit tests for the continuous (benefit-function) optimiser."""
+
+import math
+
+import pytest
+
+from repro.core.algorithms.bruteforce import brute_force
+from repro.core.algorithms.continuous import continuous_local_search, lock_grid
+from repro.core.strategy import Action
+from repro.core.utility import JoiningUserModel
+from repro.errors import InvalidParameter
+from repro.network.graph import ChannelGraph
+from repro.params import ModelParameters
+
+
+@pytest.fixture
+def model() -> JoiningUserModel:
+    graph = ChannelGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d")], balance=5.0
+    )
+    params = ModelParameters(
+        onchain_cost=0.5,
+        opportunity_rate=0.01,
+        fee_avg=0.5,
+        fee_out_avg=0.1,
+        total_tx_rate=40.0,
+        user_tx_rate=4.0,
+        zipf_s=1.0,
+    )
+    return JoiningUserModel(graph, "u", params)
+
+
+class TestLockGrid:
+    def test_includes_zero(self):
+        grid = lock_grid(10.0, 1.0)
+        assert 0.0 in grid
+
+    def test_includes_routing_amount(self):
+        grid = lock_grid(10.0, 1.0, routing_amount=2.5)
+        assert 2.5 in grid
+
+    def test_bounded_by_affordable(self):
+        grid = lock_grid(10.0, 1.0)
+        assert max(grid) <= 9.0 + 1e-9
+
+    def test_tiny_budget_only_zero(self):
+        assert lock_grid(0.5, 1.0) == [0.0]
+
+
+class TestContinuousLocalSearch:
+    def test_respects_budget(self, model):
+        result = continuous_local_search(model, budget=3.0)
+        assert result.strategy.budget_cost(model.params) <= 3.0 + 1e-9
+
+    def test_returns_connected_strategy_when_profitable(self, model):
+        result = continuous_local_search(model, budget=3.0)
+        assert len(result.strategy) >= 1
+        assert result.objective_value > -math.inf
+
+    def test_rejects_nonpositive_budget(self, model):
+        with pytest.raises(InvalidParameter):
+            continuous_local_search(model, budget=0.0)
+
+    def test_one_fifth_guarantee_vs_bruteforce(self, model):
+        """The local search should beat 1/5 of the discrete optimum."""
+        budget = 3.0
+        locks = [0.0, 1.0]
+        omega = [
+            Action(peer, lock)
+            for peer in model.base_graph.nodes
+            for lock in locks
+        ]
+        optimum = brute_force(
+            model, budget=budget, omega=omega, objective="benefit",
+            max_subset_size=4,
+        )
+        result = continuous_local_search(model, budget=budget, locks=locks)
+        assert optimum.objective_value > 0
+        assert result.objective_value >= optimum.objective_value / 5 - 1e-9
+
+    def test_positivity_condition_reported(self, model):
+        result = continuous_local_search(model, budget=3.0)
+        assert "positivity_condition" in result.details
+        assert isinstance(result.details["positivity_condition"], bool)
+
+    def test_capacity_aware_locks_meet_routing_amount(self):
+        """With routing_amount set, chosen channels lock enough to route."""
+        graph = ChannelGraph.from_edges(
+            [("a", "b"), ("b", "c"), ("c", "d")], balance=5.0
+        )
+        params = ModelParameters(
+            onchain_cost=0.5,
+            opportunity_rate=0.01,
+            fee_avg=0.5,
+            fee_out_avg=0.1,
+            total_tx_rate=40.0,
+            user_tx_rate=4.0,
+            zipf_s=1.0,
+        )
+        model = JoiningUserModel(
+            graph, "u", params, routing_amount=1.0, peer_deposit="match"
+        )
+        result = continuous_local_search(model, budget=4.0)
+        assert len(result.strategy) >= 1
+        assert all(a.locked >= 1.0 for a in result.strategy)
+
+    def test_custom_epsilon_converges(self, model):
+        result = continuous_local_search(
+            model, budget=3.0, epsilon=0.2, refine_rounds=0
+        )
+        assert result.objective_value > -math.inf

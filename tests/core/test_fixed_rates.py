@@ -1,0 +1,112 @@
+"""Tests pinning down the fixed-rate revenue estimator (Thm 1-5 regime)."""
+
+import pytest
+
+from repro.core.strategy import Action, Strategy
+from repro.core.utility import JoiningUserModel
+from repro.errors import InvalidParameter
+from repro.network.graph import ChannelGraph
+from repro.params import ModelParameters
+from repro.transactions.distributions import EmpiricalDistribution
+
+
+@pytest.fixture
+def two_cities() -> ChannelGraph:
+    """Two nodes that only transact with each other, far apart."""
+    return ChannelGraph.from_edges(
+        [("left", "m1"), ("m1", "m2"), ("m2", "right")], balance=10.0
+    )
+
+
+def build_model(graph: ChannelGraph) -> JoiningUserModel:
+    params = ModelParameters(
+        fee_avg=1.0,
+        fee_out_avg=0.0,
+        total_tx_rate=10.0,
+        user_tx_rate=1.0,
+        zipf_s=0.0,
+    )
+    distribution = EmpiricalDistribution(
+        {"left": {"right": 1.0}, "right": {"left": 1.0}}
+    )
+    return JoiningUserModel(
+        graph,
+        "u",
+        params,
+        distribution=distribution,
+        own_probs={"m1": 1.0},
+        sender_rates={"left": 5.0, "right": 5.0, "m1": 0.0, "m2": 0.0},
+        revenue_mode="fixed-rate",
+    )
+
+
+class TestFixedRateEstimates:
+    def test_modularity_exact(self, two_cities):
+        """E_rev(S) is exactly the sum of per-peer contributions."""
+        model = build_model(two_cities)
+        singles = {
+            peer: model.expected_revenue(Strategy([Action(peer, 1.0)]))
+            for peer in two_cities.nodes
+        }
+        pair = Strategy([Action("left", 1.0), Action("right", 1.0)])
+        assert model.expected_revenue(pair) == pytest.approx(
+            singles["left"] + singles["right"]
+        )
+
+    def test_rates_reflect_all_connected_configuration(self, two_cities):
+        """With u connected to everyone, left->right traffic goes
+        left-u-right (2 hops beating the 3-hop line), so the outbound
+        edge (u, right) carries all of left's 5/unit traffic."""
+        model = build_model(two_cities)
+        rates = model._estimate_fixed_rates()
+        assert rates["right"] == pytest.approx(5.0)
+        assert rates["left"] == pytest.approx(5.0)
+        # middle nodes receive/forward nothing in that configuration
+        assert rates["m1"] == pytest.approx(0.0)
+        assert rates["m2"] == pytest.approx(0.0)
+
+    def test_duplicate_peer_counts_once(self, two_cities):
+        model = build_model(two_cities)
+        single = model.expected_revenue(Strategy([Action("right", 1.0)]))
+        doubled = model.expected_revenue(
+            Strategy([Action("right", 1.0), Action("right", 2.0)])
+        )
+        assert doubled == pytest.approx(single)
+
+    def test_thin_channels_earn_nothing_with_routing_amount(self, two_cities):
+        params = ModelParameters(
+            fee_avg=1.0, fee_out_avg=0.0, total_tx_rate=10.0,
+            user_tx_rate=1.0, zipf_s=0.0,
+        )
+        model = JoiningUserModel(
+            two_cities,
+            "u",
+            params,
+            distribution=EmpiricalDistribution(
+                {"left": {"right": 1.0}, "right": {"left": 1.0}}
+            ),
+            own_probs={"m1": 1.0},
+            sender_rates={"left": 5.0, "right": 5.0, "m1": 0.0, "m2": 0.0},
+            revenue_mode="fixed-rate",
+            routing_amount=2.0,
+        )
+        thin = model.expected_revenue(
+            Strategy([Action("left", 1.0), Action("right", 1.0)])
+        )
+        thick = model.expected_revenue(
+            Strategy([Action("left", 2.0), Action("right", 2.0)])
+        )
+        assert thin == 0.0
+        assert thick > 0.0
+
+    def test_invalid_mode_rejected(self, two_cities):
+        with pytest.raises(InvalidParameter):
+            JoiningUserModel(
+                two_cities, "u", ModelParameters(), revenue_mode="magic"
+            )
+
+    def test_rates_cached_across_evaluations(self, two_cities):
+        model = build_model(two_cities)
+        first = model._estimate_fixed_rates()
+        second = model._estimate_fixed_rates()
+        assert first is second

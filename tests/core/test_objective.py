@@ -1,0 +1,70 @@
+"""Unit tests for the caching objective evaluator."""
+
+import pytest
+
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.strategy import Action, Strategy
+from repro.core.utility import JoiningUserModel
+from repro.errors import InvalidParameter
+from repro.network.graph import ChannelGraph
+from repro.params import ModelParameters
+
+
+@pytest.fixture
+def evaluator() -> ObjectiveEvaluator:
+    graph = ChannelGraph.from_edges([("a", "b"), ("b", "c")])
+    model = JoiningUserModel(graph, "u", ModelParameters(zipf_s=0.0))
+    return ObjectiveEvaluator(model, kind="simplified")
+
+
+class TestCaching:
+    def test_repeat_evaluation_cached(self, evaluator):
+        strategy = Strategy([Action("b", 1.0)])
+        first = evaluator(strategy)
+        second = evaluator(strategy)
+        assert first == second
+        assert evaluator.evaluations == 1
+        assert evaluator.cache_hits == 1
+
+    def test_equivalent_strategies_share_cache(self, evaluator):
+        s1 = Strategy([Action("a", 1.0), Action("b", 2.0)])
+        s2 = Strategy([Action("b", 2.0), Action("a", 1.0)])
+        evaluator(s1)
+        evaluator(s2)
+        assert evaluator.evaluations == 1
+
+    def test_marginal(self, evaluator):
+        base = Strategy([Action("b", 1.0)])
+        gain = evaluator.marginal(base, Action("a", 1.0))
+        expected = evaluator(base.with_action(Action("a", 1.0))) - evaluator(base)
+        assert gain == pytest.approx(expected)
+
+    def test_reset_counters(self, evaluator):
+        evaluator(Strategy([Action("a", 1.0)]))
+        evaluator.reset_counters()
+        assert evaluator.evaluations == 0
+        assert evaluator.cache_hits == 0
+
+    def test_clear_forces_recompute(self, evaluator):
+        strategy = Strategy([Action("a", 1.0)])
+        evaluator(strategy)
+        evaluator.clear()
+        evaluator(strategy)
+        assert evaluator.evaluations == 1
+
+    def test_max_cache_evicts(self):
+        graph = ChannelGraph.from_edges([("a", "b"), ("b", "c")])
+        model = JoiningUserModel(graph, "u", ModelParameters(zipf_s=0.0))
+        evaluator = ObjectiveEvaluator(model, max_cache=1)
+        evaluator(Strategy([Action("a", 1.0)]))
+        evaluator(Strategy([Action("b", 1.0)]))
+        evaluator(Strategy([Action("a", 1.0)]))  # evicted, recompute
+        assert evaluator.evaluations == 3
+
+    def test_invalid_kind(self, evaluator):
+        with pytest.raises(InvalidParameter):
+            ObjectiveEvaluator(evaluator.model, kind="bogus")
+
+    def test_invalid_max_cache(self, evaluator):
+        with pytest.raises(InvalidParameter):
+            ObjectiveEvaluator(evaluator.model, max_cache=0)

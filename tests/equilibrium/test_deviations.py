@@ -1,0 +1,118 @@
+"""Unit tests for deviation generation and application."""
+
+import pytest
+
+from repro.equilibrium.deviations import (
+    Deviation,
+    apply_deviation,
+    exhaustive_deviations,
+    structured_deviations,
+)
+from repro.equilibrium.topologies import CENTER, star
+from repro.errors import InvalidParameter, NodeNotFound
+from repro.network.graph import ChannelGraph
+
+
+@pytest.fixture
+def star4() -> ChannelGraph:
+    return star(4)
+
+
+class TestApplyDeviation:
+    def test_add_channel(self, star4):
+        deviation = Deviation(remove=frozenset(), add=frozenset({"v001"}))
+        out = apply_deviation(star4, "v000", deviation)
+        assert out.has_channel("v000", "v001")
+        assert not star4.has_channel("v000", "v001")  # original untouched
+
+    def test_remove_channel(self, star4):
+        deviation = Deviation(remove=frozenset({CENTER}), add=frozenset())
+        out = apply_deviation(star4, "v000", deviation)
+        assert not out.has_channel("v000", CENTER)
+        assert out.degree("v000") == 0
+
+    def test_rewire(self, star4):
+        deviation = Deviation(
+            remove=frozenset({CENTER}), add=frozenset({"v001", "v002"})
+        )
+        out = apply_deviation(star4, "v000", deviation)
+        assert out.degree("v000") == 2
+
+    def test_add_balance_parameter(self, star4):
+        deviation = Deviation(remove=frozenset(), add=frozenset({"v001"}))
+        out = apply_deviation(star4, "v000", deviation, balance=3.0)
+        channel = out.channels_between("v000", "v001")[0]
+        assert channel.capacity == pytest.approx(6.0)
+
+    def test_rejects_removing_missing_edge(self, star4):
+        deviation = Deviation(remove=frozenset({"v001"}), add=frozenset())
+        with pytest.raises(InvalidParameter):
+            apply_deviation(star4, "v000", deviation)
+
+    def test_rejects_duplicate_add(self, star4):
+        deviation = Deviation(remove=frozenset(), add=frozenset({CENTER}))
+        with pytest.raises(InvalidParameter):
+            apply_deviation(star4, "v000", deviation)
+
+    def test_rejects_self_add(self, star4):
+        deviation = Deviation(remove=frozenset(), add=frozenset({"v000"}))
+        with pytest.raises(InvalidParameter):
+            apply_deviation(star4, "v000", deviation)
+
+    def test_unknown_node(self, star4):
+        with pytest.raises(NodeNotFound):
+            apply_deviation(
+                star4, "ghost", Deviation(frozenset(), frozenset({"v000"}))
+            )
+
+
+class TestStructuredFamily:
+    def test_no_null_deviation(self, star4):
+        for deviation in structured_deviations(star4, "v000", seed=0):
+            assert not deviation.is_null
+
+    def test_no_duplicates(self, star4):
+        deviations = structured_deviations(star4, "v000", seed=0)
+        keys = [(d.remove, d.add) for d in deviations]
+        assert len(keys) == len(set(keys))
+
+    def test_includes_paper_classes(self, star4):
+        """The Thm 8 proof's strategy classes must all be present."""
+        deviations = set(
+            (d.remove, d.add) for d in structured_deviations(star4, "v000", seed=0)
+        )
+        others = frozenset({"v001", "v002", "v003"})
+        # class 2: connect to all other leaves
+        assert (frozenset(), others) in deviations
+        # class 3: connect to all leaves, drop the center
+        assert (frozenset({CENTER}), others) in deviations
+        # class 4: connect to one other leaf
+        assert (frozenset(), frozenset({"v001"})) in deviations
+        # removal of the only channel
+        assert (frozenset({CENTER}), frozenset()) in deviations
+
+    def test_all_deviations_applicable(self, star4):
+        for deviation in structured_deviations(star4, "v000", seed=1):
+            out = apply_deviation(star4, "v000", deviation)
+            assert out is not None
+
+    def test_unknown_node(self, star4):
+        with pytest.raises(NodeNotFound):
+            structured_deviations(star4, "ghost")
+
+
+class TestExhaustiveFamily:
+    def test_count_for_leaf(self, star4):
+        # leaf: 1 neighbor, 3 non-neighbors -> 2 * 8 - 1 (null excluded)
+        deviations = exhaustive_deviations(star4, "v000")
+        assert len(deviations) == 2 * 8 - 1
+
+    def test_structured_subset_of_exhaustive_for_small(self, star4):
+        struct = set(
+            (d.remove, d.add)
+            for d in structured_deviations(star4, "v000", seed=0)
+        )
+        exhaust = set(
+            (d.remove, d.add) for d in exhaustive_deviations(star4, "v000")
+        )
+        assert struct <= exhaust

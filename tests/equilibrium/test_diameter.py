@@ -1,0 +1,74 @@
+"""Unit tests for the Thm 6 hub-path analysis."""
+
+import math
+
+import pytest
+
+from repro.equilibrium.diameter import (
+    analyse_hub_path,
+    longest_shortest_path_through,
+)
+from repro.equilibrium.topologies import CENTER, circle, path, star
+from repro.params import ModelParameters
+
+
+class TestLongestShortestPath:
+    def test_star_center(self):
+        result = longest_shortest_path_through(star(5), CENTER)
+        assert len(result) - 1 == 2  # leaf - center - leaf
+
+    def test_path_middle(self):
+        result = longest_shortest_path_through(path(7), "v003")
+        assert len(result) - 1 == 6  # the whole path
+
+    def test_path_endpoint(self):
+        result = longest_shortest_path_through(path(7), "v000")
+        assert len(result) - 1 == 6
+
+    def test_circle(self):
+        result = longest_shortest_path_through(circle(8), "v000")
+        assert len(result) - 1 == 4  # half the circle
+
+    def test_isolated_hub(self):
+        from repro.network.graph import ChannelGraph
+
+        graph = ChannelGraph()
+        graph.add_node("solo")
+        assert longest_shortest_path_through(graph, "solo") == ["solo"]
+
+
+class TestAnalyseHubPath:
+    def test_star_within_bound_trivially(self):
+        params = ModelParameters(total_tx_rate=10.0, fee_avg=0.5)
+        analysis = analyse_hub_path(star(6), CENTER, params)
+        assert analysis.measured_d == 2
+        assert math.isinf(analysis.bound)
+        assert analysis.within_bound
+
+    def test_long_path_analysis_produces_finite_bound(self):
+        params = ModelParameters(
+            onchain_cost=0.2, total_tx_rate=100.0, fee_avg=0.5, zipf_s=0.5
+        )
+        analysis = analyse_hub_path(path(9), "v004", params)
+        assert analysis.measured_d == 8
+        assert analysis.lambda_e >= 0.0
+        assert 0 < analysis.p_min < 1
+        assert not math.isinf(analysis.bound)
+
+    def test_unstable_long_path_violates_cheap_bound(self):
+        """A long path with huge traffic is NOT stable: the bound is far
+        below the measured diameter, which is Thm 6's contrapositive."""
+        params = ModelParameters(
+            onchain_cost=0.01, total_tx_rate=1000.0, fee_avg=1.0, zipf_s=0.0
+        )
+        analysis = analyse_hub_path(path(11), "v005", params)
+        assert not analysis.within_bound
+
+    def test_expensive_chain_within_bound(self):
+        """With enormous on-chain cost, even long paths satisfy the bound
+        (no one would pay for the chord), consistent with stability."""
+        params = ModelParameters(
+            onchain_cost=1e6, total_tx_rate=10.0, fee_avg=0.1, zipf_s=0.5
+        )
+        analysis = analyse_hub_path(path(9), "v004", params)
+        assert analysis.within_bound

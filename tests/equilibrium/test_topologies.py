@@ -1,0 +1,84 @@
+"""Unit tests for the Section IV topology builders."""
+
+import networkx as nx
+import pytest
+
+from repro.equilibrium.topologies import (
+    CENTER,
+    circle,
+    complete,
+    node_labels,
+    path,
+    star,
+)
+from repro.errors import InvalidParameter
+
+
+class TestStar:
+    def test_counts(self):
+        graph = star(6)
+        assert len(graph) == 7
+        assert graph.num_channels() == 6
+
+    def test_center_degree(self):
+        graph = star(5)
+        assert graph.degree(CENTER) == 5
+        for node in graph.nodes:
+            if node != CENTER:
+                assert graph.degree(node) == 1
+
+    def test_rejects_zero_leaves(self):
+        with pytest.raises(InvalidParameter):
+            star(0)
+
+    def test_balance_applied(self):
+        graph = star(3, balance=2.5)
+        assert all(c.capacity == 5.0 for c in graph.channels)
+
+
+class TestPath:
+    def test_structure(self):
+        graph = path(5)
+        assert len(graph) == 5
+        assert graph.num_channels() == 4
+        degrees = sorted(graph.degree(v) for v in graph.nodes)
+        assert degrees == [1, 1, 2, 2, 2]
+
+    def test_rejects_single_node(self):
+        with pytest.raises(InvalidParameter):
+            path(1)
+
+
+class TestCircle:
+    def test_structure(self):
+        graph = circle(6)
+        assert len(graph) == 6
+        assert graph.num_channels() == 6
+        assert all(graph.degree(v) == 2 for v in graph.nodes)
+
+    def test_is_cycle(self):
+        undirected = circle(8).to_undirected()
+        assert nx.is_connected(undirected)
+        assert all(d == 2 for _, d in undirected.degree())
+
+    def test_rejects_too_small(self):
+        with pytest.raises(InvalidParameter):
+            circle(2)
+
+
+class TestComplete:
+    def test_structure(self):
+        graph = complete(5)
+        assert graph.num_channels() == 10
+        assert all(graph.degree(v) == 4 for v in graph.nodes)
+
+    def test_rejects_single(self):
+        with pytest.raises(InvalidParameter):
+            complete(1)
+
+
+class TestLabels:
+    def test_node_labels_match_builders(self):
+        labels = node_labels(4)
+        graph = path(4)
+        assert set(labels) == set(graph.nodes)

@@ -1,0 +1,80 @@
+"""Unit tests for social welfare and price of anarchy."""
+
+import math
+
+import pytest
+
+from repro.equilibrium.conditions import harmonic
+from repro.equilibrium.node_utility import NetworkGameModel
+from repro.equilibrium.topologies import circle, complete, path, star
+from repro.equilibrium.welfare import (
+    evaluate_topologies,
+    price_of_anarchy,
+    social_welfare,
+)
+from repro.errors import InvalidParameter
+from repro.network.graph import ChannelGraph
+
+
+def thm9_model(n: int) -> NetworkGameModel:
+    h = harmonic(n, 2.0)
+    return NetworkGameModel(a=0.9 * h, b=0.9 * h, edge_cost=1.0, zipf_s=2.0)
+
+
+class TestSocialWelfare:
+    def test_sums_node_utilities(self):
+        model = NetworkGameModel(a=0.3, b=0.3, edge_cost=0.2, zipf_s=1.0)
+        graph = star(4)
+        expected = sum(
+            model.node_utility(graph, node) for node in graph.nodes
+        )
+        assert social_welfare(graph, model) == pytest.approx(expected)
+
+    def test_disconnected_graph_minus_inf(self):
+        model = NetworkGameModel()
+        graph = ChannelGraph.from_edges([("a", "b")])
+        graph.add_node("hermit")
+        assert social_welfare(graph, model) == -math.inf
+
+    def test_star_beats_path_on_fees(self):
+        """Same edge count, but the star's short distances win welfare."""
+        model = NetworkGameModel(a=1.0, b=0.0, edge_cost=0.0, zipf_s=1.0)
+        n = 5
+        assert social_welfare(star(n - 1), model) > social_welfare(
+            path(n), model
+        )
+
+
+class TestEvaluateTopologies:
+    def test_reports_all_candidates(self):
+        model = thm9_model(4)
+        results = evaluate_topologies(
+            [("star", star(4)), ("path", path(5)), ("circle", circle(5))],
+            model,
+            seed=0,
+        )
+        assert [r.name for r in results] == ["star", "path", "circle"]
+        star_result = results[0]
+        assert star_result.is_nash
+
+
+class TestPriceOfAnarchy:
+    def test_poa_at_least_one_when_star_optimal_and_stable(self):
+        model = thm9_model(4)
+        candidates = [
+            ("star", star(4)),
+            ("path", path(5)),
+            ("circle", circle(5)),
+        ]
+        poa, results = price_of_anarchy(candidates, model, seed=0)
+        stable = [r for r in results if r.is_nash]
+        assert stable
+        # with the star both stable and welfare-maximal, PoA is modest
+        best = max(r.welfare for r in results)
+        assert poa >= 1.0 or best <= 0
+
+    def test_undefined_without_stable_candidate(self):
+        # path is never a NE for n >= 4 at these parameters
+        model = NetworkGameModel(a=1.0, b=1.0, edge_cost=1.0, zipf_s=0.0)
+        with pytest.raises(InvalidParameter):
+            price_of_anarchy([("path", path(5))], model, seed=0)

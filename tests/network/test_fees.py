@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.network.fees`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameter
+from repro.network.fees import (
+    ConstantFee,
+    LinearFee,
+    PiecewiseLinearFee,
+    average_fee,
+)
+from repro.transactions.sizes import FixedSize, UniformSizes
+
+
+class TestConstantFee:
+    def test_value(self):
+        assert ConstantFee(0.3)(100.0) == 0.3
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameter):
+            ConstantFee(-0.1)
+
+    def test_vectorised(self):
+        fees = ConstantFee(0.5).vectorised(np.array([1.0, 2.0, 3.0]))
+        assert fees.tolist() == [0.5, 0.5, 0.5]
+
+
+class TestLinearFee:
+    def test_base_plus_rate(self):
+        fee = LinearFee(base=0.1, rate=0.01)
+        assert fee(10.0) == pytest.approx(0.2)
+
+    def test_zero_amount_gives_base(self):
+        assert LinearFee(0.1, 0.5)(0.0) == pytest.approx(0.1)
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(InvalidParameter):
+            LinearFee(0.1, 0.1)(-5.0)
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(InvalidParameter):
+            LinearFee(-0.1, 0.1)
+
+    def test_vectorised_matches_scalar(self):
+        fee = LinearFee(0.2, 0.05)
+        amounts = np.array([0.0, 1.0, 7.5])
+        assert fee.vectorised(amounts) == pytest.approx(
+            [fee(a) for a in amounts]
+        )
+
+
+class TestPiecewiseLinearFee:
+    def test_interpolates(self):
+        fee = PiecewiseLinearFee([(0.0, 0.0), (10.0, 1.0)])
+        assert fee(5.0) == pytest.approx(0.5)
+
+    def test_clamps_outside_range(self):
+        fee = PiecewiseLinearFee([(1.0, 0.2), (2.0, 0.4)])
+        assert fee(0.0) == pytest.approx(0.2)
+        assert fee(5.0) == pytest.approx(0.4)
+
+    def test_needs_two_knots(self):
+        with pytest.raises(InvalidParameter):
+            PiecewiseLinearFee([(0.0, 0.1)])
+
+    def test_rejects_unsorted_knots(self):
+        with pytest.raises(InvalidParameter):
+            PiecewiseLinearFee([(1.0, 0.1), (1.0, 0.2)])
+
+    def test_rejects_negative_fees(self):
+        with pytest.raises(InvalidParameter):
+            PiecewiseLinearFee([(0.0, -0.1), (1.0, 0.2)])
+
+
+class TestAverageFee:
+    def test_constant_fee_average_is_fee(self):
+        favg = average_fee(ConstantFee(0.25), UniformSizes(high=10.0))
+        assert favg == pytest.approx(0.25, rel=1e-3)
+
+    def test_linear_fee_uniform_sizes(self):
+        # E[base + rate*t] for t ~ U[0, T] is base + rate*T/2
+        favg = average_fee(LinearFee(0.1, 0.02), UniformSizes(high=10.0))
+        assert favg == pytest.approx(0.1 + 0.02 * 5.0, rel=1e-3)
+
+    def test_fixed_size_average(self):
+        favg = average_fee(LinearFee(0.0, 1.0), FixedSize(3.0))
+        assert favg == pytest.approx(3.0, rel=1e-2)

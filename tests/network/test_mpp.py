@@ -1,0 +1,128 @@
+"""Unit tests for atomic multi-part payments."""
+
+import pytest
+
+from repro.errors import InvalidParameter, RoutingError
+from repro.network.fees import ConstantFee
+from repro.network.graph import ChannelGraph
+from repro.network.mpp import MppRouter
+from repro.network.routing import Router
+
+
+@pytest.fixture
+def two_lanes() -> ChannelGraph:
+    """Two disjoint 2-hop routes a->d, each with capacity 5 per direction."""
+    graph = ChannelGraph()
+    graph.add_channel("a", "b", 5.0, 5.0)
+    graph.add_channel("b", "d", 5.0, 5.0)
+    graph.add_channel("a", "c", 5.0, 5.0)
+    graph.add_channel("c", "d", 5.0, 5.0)
+    return graph
+
+
+class TestSplitting:
+    def test_single_path_sufficient_uses_one_part(self, two_lanes):
+        result = MppRouter(two_lanes).pay("a", "d", 4.0)
+        assert result.success
+        assert result.num_parts == 1
+
+    def test_splits_when_single_path_insufficient(self, two_lanes):
+        # 8 > any single lane's 5, but both lanes together carry it
+        assert not Router(two_lanes).execute("a", "d", 8.0).success
+        result = MppRouter(two_lanes).pay("a", "d", 8.0)
+        assert result.success
+        assert result.num_parts == 2
+
+    def test_balances_reflect_split(self, two_lanes):
+        MppRouter(two_lanes).pay("a", "d", 8.0)
+        received = sum(
+            c.balance("d") for c in two_lanes.channels_of("d")
+        )
+        assert received == pytest.approx(10.0 + 8.0)
+
+    def test_impossible_amount_fails_atomically(self, two_lanes):
+        snapshot = {
+            c.channel_id: (c.balance(c.u), c.balance(c.v))
+            for c in two_lanes.channels
+        }
+        result = MppRouter(two_lanes).pay("a", "d", 11.0)  # > 10 max flow
+        assert not result.success
+        assert result.parts == []
+        after = {
+            c.channel_id: (c.balance(c.u), c.balance(c.v))
+            for c in two_lanes.channels
+        }
+        assert snapshot == after
+
+    def test_max_parts_respected(self, two_lanes):
+        router = MppRouter(two_lanes, max_parts=1)
+        result = router.pay("a", "d", 8.0)
+        assert not result.success
+        assert "part budget" in result.failure_reason or result.failure_reason
+
+    def test_coins_conserved(self, two_lanes):
+        total = two_lanes.total_capacity()
+        MppRouter(two_lanes).pay("a", "d", 8.0)
+        assert two_lanes.total_capacity() == pytest.approx(total)
+
+
+class TestFeesAndEstimates:
+    def test_fees_collected_per_part(self, two_lanes):
+        router = MppRouter(two_lanes, fee=ConstantFee(0.25))
+        result = router.pay("a", "d", 8.0)
+        assert result.success
+        fees = result.fees_per_node()
+        # both intermediaries forwarded one part each
+        assert fees.get("b", 0) == pytest.approx(0.25)
+        assert fees.get("c", 0) == pytest.approx(0.25)
+
+    def test_max_sendable_estimate_is_max_flow(self, two_lanes):
+        router = MppRouter(two_lanes)
+        assert router.max_sendable_estimate("a", "d") == pytest.approx(10.0)
+
+    def test_estimate_zero_for_unknown_nodes(self, two_lanes):
+        assert MppRouter(two_lanes).max_sendable_estimate("a", "ghost") == 0.0
+
+
+class TestValidation:
+    def test_rejects_self_payment(self, two_lanes):
+        with pytest.raises(RoutingError):
+            MppRouter(two_lanes).pay("a", "a", 1.0)
+
+    def test_rejects_nonpositive_amount(self, two_lanes):
+        with pytest.raises(InvalidParameter):
+            MppRouter(two_lanes).pay("a", "d", 0.0)
+
+    def test_rejects_bad_config(self, two_lanes):
+        with pytest.raises(InvalidParameter):
+            MppRouter(two_lanes, min_part=0.0)
+        with pytest.raises(InvalidParameter):
+            MppRouter(two_lanes, max_parts=0)
+
+    def test_disconnected_receiver_fails_cleanly(self):
+        graph = ChannelGraph.from_edges([("a", "b")])
+        graph.add_node("island")
+        result = MppRouter(graph).pay("a", "island", 1.0)
+        assert not result.success
+        assert "no feasible path" in result.failure_reason
+
+
+class TestSharedBottleneck:
+    def test_parallel_paths_with_shared_edge(self):
+        """Splitting helps only up to the true max flow through shared edges."""
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 4.0, 0.0)
+        graph.add_channel("a", "c", 4.0, 0.0)
+        graph.add_channel("b", "d", 10.0, 0.0)
+        graph.add_channel("c", "d", 10.0, 0.0)
+        graph.add_channel("d", "e", 6.0, 0.0)  # shared bottleneck
+        router = MppRouter(graph)
+        assert router.max_sendable_estimate("a", "e") == pytest.approx(6.0)
+        assert router.pay("a", "e", 6.0).success
+        graph2 = ChannelGraph()
+        graph2.add_channel("a", "b", 4.0, 0.0)
+        graph2.add_channel("a", "c", 4.0, 0.0)
+        graph2.add_channel("b", "d", 10.0, 0.0)
+        graph2.add_channel("c", "d", 10.0, 0.0)
+        graph2.add_channel("d", "e", 6.0, 0.0)
+        assert not MppRouter(graph2).pay("a", "e", 7.0).success

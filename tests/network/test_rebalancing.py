@@ -1,0 +1,140 @@
+"""Unit tests for off-chain rebalancing cycles."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.network.graph import ChannelGraph
+from repro.network.rebalancing import (
+    auto_rebalance,
+    channel_imbalances,
+    execute_rebalance,
+    find_rebalancing_cycle,
+)
+
+
+@pytest.fixture
+def triangle() -> ChannelGraph:
+    """a-b depleted on a's side; a-c and c-b healthy."""
+    graph = ChannelGraph()
+    graph.add_channel("a", "b", 1.0, 9.0)
+    graph.add_channel("a", "c", 8.0, 2.0)
+    graph.add_channel("c", "b", 6.0, 4.0)
+    return graph
+
+
+class TestImbalances:
+    def test_sorted_most_depleted_first(self, triangle):
+        imbalances = channel_imbalances(triangle, "a")
+        assert imbalances[0].counterparty == "b"
+        assert imbalances[0].local_ratio == pytest.approx(0.1)
+        assert imbalances[-1].counterparty == "c"
+
+    def test_skew_sign(self, triangle):
+        imbalances = {i.counterparty: i for i in channel_imbalances(triangle, "a")}
+        assert imbalances["b"].skew < 0
+        assert imbalances["c"].skew > 0
+
+    def test_unknown_node(self, triangle):
+        from repro.errors import NodeNotFound
+
+        with pytest.raises(NodeNotFound):
+            channel_imbalances(triangle, "ghost")
+
+
+class TestFindCycle:
+    def test_finds_triangle_cycle(self, triangle):
+        cycle = find_rebalancing_cycle(triangle, "a", amount=2.0)
+        assert cycle[0] == cycle[-1] == "a"
+        assert cycle == ["a", "c", "b", "a"]
+
+    def test_respects_capacity(self, triangle):
+        # amount 7 exceeds c->b balance of 6
+        with pytest.raises(RoutingError):
+            find_rebalancing_cycle(triangle, "a", amount=7.0)
+
+    def test_explicit_neighbors(self, triangle):
+        cycle = find_rebalancing_cycle(
+            triangle, "a", 1.0, in_neighbor="b", out_neighbor="c"
+        )
+        assert cycle == ["a", "c", "b", "a"]
+
+    def test_same_in_out_rejected(self, triangle):
+        with pytest.raises(RoutingError):
+            find_rebalancing_cycle(
+                triangle, "a", 1.0, in_neighbor="b", out_neighbor="b"
+            )
+
+    def test_needs_two_channels(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 1.0, 9.0)
+        with pytest.raises(RoutingError):
+            find_rebalancing_cycle(graph, "a", 1.0)
+
+    def test_nonpositive_amount(self, triangle):
+        with pytest.raises(RoutingError):
+            find_rebalancing_cycle(triangle, "a", 0.0)
+
+    def test_longer_cycle_through_intermediaries(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 0.0, 10.0)   # fully depleted toward b
+        graph.add_channel("a", "c", 10.0, 0.0)
+        graph.add_channel("c", "d", 10.0, 0.0)
+        graph.add_channel("d", "b", 10.0, 0.0)
+        cycle = find_rebalancing_cycle(
+            graph, "a", 3.0, in_neighbor="b", out_neighbor="c"
+        )
+        assert cycle == ["a", "c", "d", "b", "a"]
+
+
+class TestExecute:
+    def test_rebalance_moves_liquidity(self, triangle):
+        cycle = find_rebalancing_cycle(triangle, "a", 2.0)
+        assert execute_rebalance(triangle, cycle, 2.0)
+        ab = triangle.channels_between("a", "b")[0]
+        ac = triangle.channels_between("a", "c")[0]
+        assert ab.balance("a") == pytest.approx(3.0)   # replenished
+        assert ac.balance("a") == pytest.approx(6.0)   # paid from surplus
+
+    def test_net_worth_preserved_without_fees(self, triangle):
+        before = triangle.balance_of("a")
+        cycle = find_rebalancing_cycle(triangle, "a", 2.0)
+        execute_rebalance(triangle, cycle, 2.0)
+        assert triangle.balance_of("a") == pytest.approx(before)
+
+    def test_bad_cycle_shape_rejected(self, triangle):
+        with pytest.raises(RoutingError):
+            execute_rebalance(triangle, ["a", "b"], 1.0)
+        with pytest.raises(RoutingError):
+            execute_rebalance(triangle, ["a", "b", "c"], 1.0)
+
+    def test_failed_cycle_leaves_balances(self, triangle):
+        snapshot = {
+            c.channel_id: (c.balance(c.u), c.balance(c.v))
+            for c in triangle.channels
+        }
+        ok = execute_rebalance(triangle, ["a", "c", "b", "a"], 50.0)
+        assert not ok
+        after = {
+            c.channel_id: (c.balance(c.u), c.balance(c.v))
+            for c in triangle.channels
+        }
+        assert snapshot == after
+
+
+class TestAutoRebalance:
+    def test_reaches_target_ratio(self, triangle):
+        cycles = auto_rebalance(triangle, "a", target_ratio=0.3, max_cycles=10)
+        assert cycles >= 1
+        worst = channel_imbalances(triangle, "a")[0]
+        assert worst.local_ratio >= 0.3 - 1e-9
+
+    def test_noop_when_already_balanced(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 5.0, 5.0)
+        graph.add_channel("a", "c", 5.0, 5.0)
+        graph.add_channel("b", "c", 5.0, 5.0)
+        assert auto_rebalance(graph, "a", target_ratio=0.4) == 0
+
+    def test_invalid_target(self, triangle):
+        with pytest.raises(RoutingError):
+            auto_rebalance(triangle, "a", target_ratio=0.9)

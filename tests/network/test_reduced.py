@@ -1,0 +1,59 @@
+"""Unit tests for the reduced subgraph ``G'`` (Section II-B)."""
+
+import pytest
+
+from repro.network.graph import ChannelGraph
+from repro.network.reduced import (
+    feasible_pairs,
+    infeasible_edges,
+    reduced_digraph,
+)
+
+
+@pytest.fixture
+def skewed() -> ChannelGraph:
+    graph = ChannelGraph()
+    graph.add_channel("a", "b", 10.0, 1.0)
+    graph.add_channel("b", "c", 4.0, 6.0)
+    return graph
+
+
+class TestReducedDigraph:
+    def test_amount_zero_keeps_everything(self, skewed):
+        reduced = reduced_digraph(skewed, 0.0)
+        assert reduced.number_of_edges() == 4
+
+    def test_moderate_amount_drops_thin_directions(self, skewed):
+        reduced = reduced_digraph(skewed, 5.0)
+        assert reduced.has_edge("a", "b")
+        assert not reduced.has_edge("b", "a")  # 1 < 5
+        assert not reduced.has_edge("b", "c")  # 4 < 5
+        assert reduced.has_edge("c", "b")
+
+    def test_huge_amount_drops_all(self, skewed):
+        reduced = reduced_digraph(skewed, 100.0)
+        assert reduced.number_of_edges() == 0
+        assert reduced.number_of_nodes() == 3  # nodes kept
+
+
+class TestInfeasibleEdges:
+    def test_lists_dropped_directions(self, skewed):
+        dropped = infeasible_edges(skewed, 5.0)
+        pairs = {(s, d) for s, d, _ in dropped}
+        assert pairs == {("b", "a"), ("b", "c")}
+
+    def test_empty_when_amount_zero(self, skewed):
+        assert infeasible_edges(skewed, 0.0) == []
+
+
+class TestFeasiblePairs:
+    def test_full_connectivity_small_amount(self, skewed):
+        # all 6 ordered pairs feasible at amount 1 except none
+        assert feasible_pairs(skewed, 1.0) == 6
+
+    def test_partial_connectivity(self, skewed):
+        # at 5.0 edges a->b and c->b survive: pairs (a,b), (c,b) only
+        assert feasible_pairs(skewed, 5.0) == 2
+
+    def test_no_connectivity(self, skewed):
+        assert feasible_pairs(skewed, 1000.0) == 0

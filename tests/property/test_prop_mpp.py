@@ -1,0 +1,73 @@
+"""Property-based tests: MPP atomicity and max-flow consistency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.graph import ChannelGraph
+from repro.network.mpp import MppRouter
+
+NODES = ["s", "x", "y", "t"]
+
+
+def build_graph(balances) -> ChannelGraph:
+    graph = ChannelGraph()
+    edges = [("s", "x"), ("s", "y"), ("x", "t"), ("y", "t"), ("x", "y")]
+    for (u, v), (bu, bv) in zip(edges, balances):
+        graph.add_channel(u, v, bu, bv)
+    return graph
+
+
+balances_strategy = st.lists(
+    st.tuples(
+        st.floats(0.0, 20.0, allow_nan=False),
+        st.floats(0.0, 20.0, allow_nan=False),
+    ),
+    min_size=5,
+    max_size=5,
+)
+amount_strategy = st.floats(0.1, 60.0, allow_nan=False)
+
+
+@given(balances=balances_strategy, amount=amount_strategy)
+@settings(max_examples=120, deadline=None)
+def test_mpp_atomic_all_or_nothing(balances, amount):
+    """Either the full amount arrives at t, or no balance moves at all."""
+    graph = build_graph(balances)
+    snapshot = {
+        c.channel_id: (c.balance(c.u), c.balance(c.v)) for c in graph.channels
+    }
+    received_before = graph.balance_of("t")
+    result = MppRouter(graph).pay("s", "t", amount)
+    if result.success:
+        assert graph.balance_of("t") == pytest.approx(
+            received_before + amount, abs=1e-6
+        )
+    else:
+        after = {
+            c.channel_id: (c.balance(c.u), c.balance(c.v))
+            for c in graph.channels
+        }
+        for cid in snapshot:
+            assert snapshot[cid] == pytest.approx(after[cid], abs=1e-9)
+
+
+@given(balances=balances_strategy, amount=amount_strategy)
+@settings(max_examples=120, deadline=None)
+def test_mpp_never_exceeds_max_flow(balances, amount):
+    """Success implies the amount was within the max-flow bound."""
+    graph = build_graph(balances)
+    router = MppRouter(graph)
+    max_flow = router.max_sendable_estimate("s", "t")
+    result = router.pay("s", "t", amount)
+    if result.success:
+        assert amount <= max_flow + 1e-6
+
+
+@given(balances=balances_strategy, amount=amount_strategy)
+@settings(max_examples=80, deadline=None)
+def test_mpp_conserves_total_coins(balances, amount):
+    graph = build_graph(balances)
+    total = graph.total_capacity()
+    MppRouter(graph).pay("s", "t", amount)
+    assert graph.total_capacity() == pytest.approx(total, abs=1e-6)

@@ -1,0 +1,116 @@
+"""Property-based tests: Thm 1/2 invariants under the fixed-λ regime.
+
+Random graphs, random parameters — the paper's claims must hold for every
+instance when the model uses ``revenue_mode="fixed-rate"`` (the theorem's
+own assumption).
+"""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import ObjectiveEvaluator
+from repro.core.strategy import Action, Strategy
+from repro.core.utility import JoiningUserModel
+from repro.network.graph import ChannelGraph
+from repro.params import ModelParameters
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=3, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    structure = nx.gnp_random_graph(n, 0.5, seed=seed)
+    if not nx.is_connected(structure):
+        structure = nx.path_graph(n)
+    graph = ChannelGraph()
+    for u, v in structure.edges:
+        graph.add_channel(u, v, 1.0, 1.0)
+    params = ModelParameters(
+        onchain_cost=draw(st.floats(0.1, 3.0)),
+        opportunity_rate=draw(st.floats(0.0, 0.5)),
+        fee_avg=draw(st.floats(0.01, 1.0)),
+        fee_out_avg=draw(st.floats(0.01, 1.0)),
+        total_tx_rate=draw(st.floats(1.0, 100.0)),
+        user_tx_rate=draw(st.floats(0.1, 10.0)),
+        zipf_s=draw(st.floats(0.0, 3.0)),
+    )
+    model = JoiningUserModel(graph, "u", params, revenue_mode="fixed-rate")
+    peers = sorted(graph.nodes, key=str)
+    subset_bits = draw(st.integers(min_value=0, max_value=2 ** len(peers) - 1))
+    nested_bits = draw(st.integers(min_value=0, max_value=2 ** len(peers) - 1))
+    s2_peers = [p for i, p in enumerate(peers) if subset_bits >> i & 1]
+    s1_peers = [
+        p
+        for i, p in enumerate(peers)
+        if (subset_bits >> i & 1) and (nested_bits >> i & 1)
+    ]
+    extra = draw(st.sampled_from([p for p in peers if p not in s2_peers] or peers))
+    if extra in s2_peers:
+        return None
+    s1 = Strategy([Action(p, 1.0) for p in s1_peers])
+    s2 = Strategy([Action(p, 1.0) for p in s2_peers])
+    return model, s1, s2, Action(extra, 1.0)
+
+
+@given(instance=instances())
+@settings(max_examples=80, deadline=None)
+def test_simplified_utility_submodular_and_monotone(instance):
+    """Thm 1 + Thm 2 for U' on arbitrary nested strategy pairs."""
+    if instance is None:
+        return
+    model, s1, s2, extra = instance
+    evaluator = ObjectiveEvaluator(model, kind="simplified")
+    values = {
+        "s1": evaluator(s1),
+        "s1x": evaluator(s1.with_action(extra)),
+        "s2": evaluator(s2),
+        "s2x": evaluator(s2.with_action(extra)),
+    }
+    finite = {k: v for k, v in values.items() if not math.isinf(v)}
+    # monotonicity (where finite): adding an action never hurts U'
+    if not math.isinf(values["s1"]) and not math.isinf(values["s1x"]):
+        assert values["s1x"] >= values["s1"] - 1e-9
+    if not math.isinf(values["s2"]) and not math.isinf(values["s2x"]):
+        assert values["s2x"] >= values["s2"] - 1e-9
+    # submodularity (all finite): diminishing returns
+    if len(finite) == 4:
+        gain_small = values["s1x"] - values["s1"]
+        gain_large = values["s2x"] - values["s2"]
+        assert gain_large <= gain_small + 1e-9
+
+
+@given(instance=instances())
+@settings(max_examples=60, deadline=None)
+def test_full_utility_submodular(instance):
+    """Thm 1 for the full U (costs are modular, so submodularity holds)."""
+    if instance is None:
+        return
+    model, s1, s2, extra = instance
+    evaluator = ObjectiveEvaluator(model, kind="utility")
+    values = [
+        evaluator(s1),
+        evaluator(s1.with_action(extra)),
+        evaluator(s2),
+        evaluator(s2.with_action(extra)),
+    ]
+    if any(math.isinf(v) for v in values):
+        return
+    gain_small = values[1] - values[0]
+    gain_large = values[3] - values[2]
+    assert gain_large <= gain_small + 1e-9
+
+
+@given(instance=instances())
+@settings(max_examples=40, deadline=None)
+def test_revenue_nonnegative_and_fees_nonnegative(instance):
+    if instance is None:
+        return
+    model, s1, s2, _extra = instance
+    for strategy in (s1, s2):
+        assert model.expected_revenue(strategy) >= -1e-12
+        fees = model.expected_fees(strategy)
+        assert fees >= -1e-12 or math.isinf(fees)

@@ -1,0 +1,137 @@
+"""Unit tests for describegraph-style snapshot IO."""
+
+import json
+
+import pytest
+
+from repro.errors import SnapshotFormatError
+from repro.network.graph import ChannelGraph
+from repro.snapshots.io import (
+    from_describegraph,
+    load_snapshot,
+    save_snapshot,
+    to_describegraph,
+)
+from repro.snapshots.synthetic import barabasi_albert_snapshot
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_structure(self, tmp_path):
+        original = barabasi_albert_snapshot(25, seed=4)
+        path = tmp_path / "snap.json"
+        save_snapshot(original, path)
+        loaded = load_snapshot(path)
+        assert set(loaded.nodes) == set(original.nodes)
+        assert loaded.num_channels() == original.num_channels()
+
+    def test_round_trip_preserves_balances(self, tmp_path):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 3.25, 1.75, channel_id="c0")
+        path = tmp_path / "snap.json"
+        save_snapshot(graph, path)
+        loaded = load_snapshot(path)
+        channel = loaded.channel("c0")
+        assert channel.balance("a") == pytest.approx(3.25)
+        assert channel.balance("b") == pytest.approx(1.75)
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        graph = ChannelGraph()
+        graph.add_node("hermit")
+        path = tmp_path / "snap.json"
+        save_snapshot(graph, path)
+        assert "hermit" in load_snapshot(path)
+
+
+class TestParsing:
+    def test_balances_default_to_even_split(self):
+        doc = {
+            "nodes": [{"pub_key": "a"}, {"pub_key": "b"}],
+            "edges": [
+                {
+                    "channel_id": "c1",
+                    "node1_pub": "a",
+                    "node2_pub": "b",
+                    "capacity": "10",
+                }
+            ],
+        }
+        graph = from_describegraph(doc)
+        channel = graph.channel("c1")
+        assert channel.balance("a") == pytest.approx(5.0)
+        assert channel.balance("b") == pytest.approx(5.0)
+
+    def test_string_capacities_accepted(self):
+        doc = {
+            "nodes": [],
+            "edges": [
+                {"node1_pub": "a", "node2_pub": "b", "capacity": "7.5"}
+            ],
+        }
+        graph = from_describegraph(doc)
+        assert graph.total_capacity() == pytest.approx(7.5)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(SnapshotFormatError):
+            from_describegraph([1, 2, 3])
+
+    def test_rejects_missing_edge_fields(self):
+        with pytest.raises(SnapshotFormatError):
+            from_describegraph({"edges": [{"node1_pub": "a"}]})
+
+    def test_rejects_bad_capacity(self):
+        doc = {"edges": [{"node1_pub": "a", "node2_pub": "b", "capacity": "x"}]}
+        with pytest.raises(SnapshotFormatError):
+            from_describegraph(doc)
+
+    def test_rejects_negative_capacity(self):
+        doc = {
+            "edges": [{"node1_pub": "a", "node2_pub": "b", "capacity": "-1"}]
+        }
+        with pytest.raises(SnapshotFormatError):
+            from_describegraph(doc)
+
+    def test_rejects_inconsistent_balances(self):
+        doc = {
+            "edges": [
+                {
+                    "node1_pub": "a",
+                    "node2_pub": "b",
+                    "capacity": "10",
+                    "node1_balance": "9",
+                    "node2_balance": "9",
+                }
+            ]
+        }
+        with pytest.raises(SnapshotFormatError):
+            from_describegraph(doc)
+
+    def test_rejects_one_sided_balance(self):
+        doc = {
+            "edges": [
+                {
+                    "node1_pub": "a",
+                    "node2_pub": "b",
+                    "capacity": "10",
+                    "node1_balance": "5",
+                }
+            ]
+        }
+        with pytest.raises(SnapshotFormatError):
+            from_describegraph(doc)
+
+    def test_rejects_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(path)
+
+    def test_serialised_document_shape(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 1.0, 2.0, channel_id="c9")
+        doc = to_describegraph(graph)
+        assert {"pub_key": "a"} in doc["nodes"]
+        edge = doc["edges"][0]
+        assert edge["channel_id"] == "c9"
+        assert float(edge["capacity"]) == pytest.approx(3.0)
+        # document is JSON-serialisable
+        json.dumps(doc)

@@ -1,0 +1,97 @@
+"""End-to-end tests of the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestGenerate:
+    def test_generates_snapshot_file(self, tmp_path, capsys):
+        out = tmp_path / "snap.json"
+        code = main(["generate", "--nodes", "20", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert len(doc["nodes"]) == 20
+        assert "wrote snapshot" in capsys.readouterr().out
+
+
+class TestJoin:
+    def test_greedy_join_prints_summary(self, capsys):
+        code = main(
+            ["join", "--nodes", "15", "--budget", "4", "--algorithm", "greedy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[greedy]" in out
+        assert "chosen channels" in out
+
+    def test_join_on_saved_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        main(["generate", "--nodes", "12", str(snap)])
+        capsys.readouterr()
+        code = main(
+            ["join", "--snapshot", str(snap), "--budget", "3",
+             "--algorithm", "greedy"]
+        )
+        assert code == 0
+        assert "[greedy]" in capsys.readouterr().out
+
+    def test_continuous_join(self, capsys):
+        code = main(
+            ["join", "--nodes", "8", "--budget", "3",
+             "--algorithm", "continuous"]
+        )
+        assert code == 0
+        assert "[continuous]" in capsys.readouterr().out
+
+
+class TestStability:
+    def test_star_stable_report(self, capsys):
+        code = main(
+            ["stability", "star", "--size", "5", "-a", "0.1", "-b", "0.1",
+             "--zipf-s", "2.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NE=True" in out
+        assert "Thm 8" in out
+
+    def test_path_unstable_report(self, capsys):
+        code = main(["stability", "path", "--size", "5"])
+        assert code == 0
+        assert "NE=False" in capsys.readouterr().out
+
+
+class TestEstimate:
+    def test_round_trip_report(self, capsys):
+        code = main(
+            ["estimate", "--nodes", "10", "--samples", "400",
+             "--zipf-s", "1.0", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated s" in out
+        assert "busiest senders" in out
+
+
+class TestSimulate:
+    def test_simulate_reports_metrics(self, capsys):
+        code = main(
+            ["simulate", "--nodes", "15", "--horizon", "5", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "payments:" in out

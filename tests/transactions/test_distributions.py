@@ -1,0 +1,75 @@
+"""Unit tests for the transaction-distribution interface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameter, NodeNotFound
+from repro.network.graph import ChannelGraph
+from repro.transactions.distributions import (
+    EmpiricalDistribution,
+    UniformDistribution,
+)
+
+
+class TestUniform:
+    def test_probability(self):
+        dist = UniformDistribution(["a", "b", "c"])
+        assert dist.probability("a", "b") == pytest.approx(0.5)
+
+    def test_self_zero(self):
+        dist = UniformDistribution(["a", "b", "c"])
+        assert dist.probability("a", "a") == 0.0
+
+    def test_receivers_sum_to_one(self):
+        dist = UniformDistribution(["a", "b", "c", "d"])
+        assert sum(dist.receivers("a").values()) == pytest.approx(1.0)
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(InvalidParameter):
+            UniformDistribution(["solo"])
+
+    def test_unknown_sender(self):
+        dist = UniformDistribution(["a", "b"])
+        with pytest.raises(NodeNotFound):
+            dist.receivers("ghost")
+
+    def test_from_graph(self):
+        graph = ChannelGraph.from_edges([("a", "b"), ("b", "c")])
+        dist = UniformDistribution.from_graph(graph)
+        assert dist.probability("a", "c") == pytest.approx(0.5)
+
+
+class TestEmpirical:
+    def test_normalises_rows(self):
+        dist = EmpiricalDistribution({"a": {"b": 3.0, "c": 1.0}})
+        assert dist.probability("a", "b") == pytest.approx(0.75)
+        assert dist.probability("a", "c") == pytest.approx(0.25)
+
+    def test_drops_self_and_nonpositive(self):
+        dist = EmpiricalDistribution({"a": {"a": 5.0, "b": 1.0, "c": 0.0}})
+        assert dist.probability("a", "a") == 0.0
+        assert dist.probability("a", "b") == pytest.approx(1.0)
+
+    def test_rejects_empty_row(self):
+        with pytest.raises(InvalidParameter):
+            EmpiricalDistribution({"a": {"a": 1.0}})
+
+    def test_unknown_sender(self):
+        dist = EmpiricalDistribution({"a": {"b": 1.0}})
+        with pytest.raises(NodeNotFound):
+            dist.probability("ghost", "b")
+
+    def test_receivers_copy(self):
+        dist = EmpiricalDistribution({"a": {"b": 1.0}})
+        row = dist.receivers("a")
+        row["b"] = 0.0
+        assert dist.probability("a", "b") == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_receiver_matches_distribution(self):
+        dist = EmpiricalDistribution({"a": {"b": 9.0, "c": 1.0}})
+        rng = np.random.default_rng(1)
+        draws = [dist.sample_receiver("a", rng) for _ in range(1000)]
+        share_b = draws.count("b") / len(draws)
+        assert share_b == pytest.approx(0.9, abs=0.04)

@@ -1,0 +1,85 @@
+"""Unit tests for transaction-size distributions."""
+
+import numpy as np
+
+_trapz = getattr(np, "trapezoid", getattr(np, "trapz", None))
+import pytest
+
+from repro.errors import InvalidParameter
+from repro.transactions.sizes import (
+    FixedSize,
+    TruncatedExponentialSizes,
+    UniformSizes,
+)
+
+
+class TestUniformSizes:
+    def test_pdf_integrates_to_one(self):
+        dist = UniformSizes(high=10.0)
+        grid = np.linspace(*dist.support(), 2001)
+        assert _trapz(dist.pdf(grid), grid) == pytest.approx(1.0, rel=1e-3)
+
+    def test_mean(self):
+        assert UniformSizes(high=10.0).mean() == pytest.approx(5.0, rel=1e-3)
+
+    def test_mean_with_offset(self):
+        assert UniformSizes(low=2.0, high=4.0).mean() == pytest.approx(
+            3.0, rel=1e-3
+        )
+
+    def test_samples_in_support(self):
+        dist = UniformSizes(low=1.0, high=3.0)
+        samples = dist.sample(np.random.default_rng(0), 500)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 3.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(InvalidParameter):
+            UniformSizes(high=1.0, low=1.0)
+
+
+class TestTruncatedExponential:
+    def test_pdf_integrates_to_one(self):
+        dist = TruncatedExponentialSizes(scale=1.0, high=5.0)
+        grid = np.linspace(0.0, 5.0, 4001)
+        assert _trapz(dist.pdf(grid), grid) == pytest.approx(1.0, rel=1e-3)
+
+    def test_samples_within_truncation(self):
+        dist = TruncatedExponentialSizes(scale=2.0, high=3.0)
+        samples = dist.sample(np.random.default_rng(1), 2000)
+        assert samples.min() >= 0.0
+        assert samples.max() <= 3.0
+
+    def test_sample_mean_matches_analytic(self):
+        dist = TruncatedExponentialSizes(scale=1.0, high=10.0)
+        samples = dist.sample(np.random.default_rng(2), 20000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_skews_small(self):
+        dist = TruncatedExponentialSizes(scale=0.5, high=5.0)
+        assert dist.mean() < 2.5  # well below the uniform mean
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameter):
+            TruncatedExponentialSizes(scale=0.0, high=1.0)
+        with pytest.raises(InvalidParameter):
+            TruncatedExponentialSizes(scale=1.0, high=0.0)
+
+
+class TestFixedSize:
+    def test_samples_exact(self):
+        dist = FixedSize(2.5)
+        samples = dist.sample(np.random.default_rng(3), 10)
+        assert np.all(samples == 2.5)
+
+    def test_mean_exact(self):
+        assert FixedSize(4.0).mean() == 4.0
+
+    def test_pdf_spike_integrates_to_one(self):
+        dist = FixedSize(3.0)
+        grid = np.linspace(*dist.support(), 10001)
+        assert _trapz(dist.pdf(grid), grid) == pytest.approx(1.0, rel=1e-2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameter):
+            FixedSize(0.0)
