@@ -15,13 +15,26 @@ The library models the incentive structure behind payment channel network
   Nash-equilibrium checks and the closed-form theorem conditions;
 * :mod:`repro.simulation` — a discrete-event payment simulator providing
   the empirical counterparts of the analytic quantities;
-* :mod:`repro.analysis` — sweep and table helpers for the experiments.
+* :mod:`repro.analysis` — sweep and table helpers for the experiments;
+* :mod:`repro.scenarios` — the declarative scenario layer: JSON-round-trip
+  specs, plugin registries, and the serial/parallel scenario runner that
+  every driver (CLI, examples, sweeps) goes through.
 
 Quickstart::
 
-    from repro import (
-        ModelParameters, JoiningUserModel, greedy_fixed_funds,
+    from repro import Scenario, ScenarioRunner, TopologySpec, AlgorithmSpec
+
+    scenario = Scenario(
+        topology=TopologySpec("ba", {"n": 50}),
+        algorithm=AlgorithmSpec("greedy", {"budget": 10.0, "lock": 1.0}),
+        seed=7,
     )
+    result = ScenarioRunner().run(scenario)
+    print(result.optimisation.summary())
+
+The lower-level models remain available for direct use::
+
+    from repro import ModelParameters, JoiningUserModel, greedy_fixed_funds
     from repro.snapshots import barabasi_albert_snapshot
 
     graph = barabasi_albert_snapshot(50, seed=7)
@@ -59,18 +72,33 @@ from .core import (
 )
 from .equilibrium import NetworkGameModel, check_nash
 from .simulation import SimulationEngine
+from .scenarios import (
+    AlgorithmSpec,
+    FeeSpec,
+    Scenario,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_algorithm,
+    register_fee,
+    register_topology,
+    register_workload,
+)
+from .scenarios.runner import ScenarioResult, ScenarioRunner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Action",
     "ActionSpace",
+    "AlgorithmSpec",
     "BudgetExceeded",
     "Channel",
     "ChannelGraph",
     "ChannelNotFound",
     "DEFAULT_PARAMS",
     "DuplicateChannel",
+    "FeeSpec",
     "GraphError",
     "InsufficientBalance",
     "InvalidParameter",
@@ -83,14 +111,24 @@ __all__ = [
     "ReproError",
     "Router",
     "RoutingError",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
     "SimulationEngine",
     "SimulationError",
+    "SimulationSpec",
     "SnapshotFormatError",
     "Strategy",
+    "TopologySpec",
+    "WorkloadSpec",
     "brute_force",
     "check_nash",
     "continuous_local_search",
     "exhaustive_discrete",
     "greedy_fixed_funds",
+    "register_algorithm",
+    "register_fee",
+    "register_topology",
+    "register_workload",
     "__version__",
 ]

@@ -4,30 +4,38 @@ Turns a grid specification (dict of parameter name -> list of values) into
 the cartesian product, evaluates a function on every point, and collects
 rows of results — the machinery behind the parameter-space maps of
 bench E8 (star NE region) and friends.
+
+The grid expansion and executor plumbing live in
+:mod:`repro.scenarios.grid` (shared with the scenario runner's
+``run_sweep``); this module keeps the historical callable-per-point API and
+adds opt-in process parallelism via ``executor="process"``.
 """
 
 from __future__ import annotations
 
-from itertools import product
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence
+from functools import partial
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..scenarios.grid import evaluate_grid, grid_points
 
 __all__ = ["grid_points", "run_sweep"]
 
 
-def grid_points(grid: Mapping[str, Sequence[Any]]) -> Iterator[Dict[str, Any]]:
-    """Yield every combination of the grid as a dict.
+def _apply_point(
+    evaluate: Callable[..., Mapping[str, Any]],
+    index: int,
+    point: Dict[str, Any],
+) -> Mapping[str, Any]:
+    """Top-level (hence picklable) adapter from (index, point) to kwargs."""
+    return evaluate(**point)
 
-    Iteration order is deterministic: keys in insertion order, values in
-    the order given.
-    """
-    keys = list(grid)
-    for values in product(*(grid[k] for k in keys)):
-        yield dict(zip(keys, values))
 
 def run_sweep(
     grid: Mapping[str, Sequence[Any]],
     evaluate: Callable[..., Mapping[str, Any]],
-    progress: Callable[[int, Dict[str, Any]], None] = None,
+    progress: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     """Evaluate ``evaluate(**point)`` on every grid point.
 
@@ -37,15 +45,19 @@ def run_sweep(
 
     Args:
         grid: parameter name -> values.
-        evaluate: called with the point as keyword arguments.
+        evaluate: called with the point as keyword arguments. With
+            ``executor="process"`` it must be picklable (a top-level
+            function, not a lambda or closure).
         progress: optional callback ``(index, point)`` before each point.
+        executor: ``"serial"`` (default, historical behaviour) or
+            ``"process"`` to spread points over a ``ProcessPoolExecutor``;
+            row order is identical either way.
+        max_workers: process-pool size (``"process"`` only).
     """
-    rows: List[Dict[str, Any]] = []
-    for index, point in enumerate(grid_points(grid)):
-        if progress is not None:
-            progress(index, point)
-        result = evaluate(**point)
-        row = dict(point)
-        row.update(result)
-        rows.append(row)
-    return rows
+    return evaluate_grid(
+        grid,
+        partial(_apply_point, evaluate),
+        executor=executor,
+        max_workers=max_workers,
+        progress=progress,
+    )

@@ -1,5 +1,10 @@
 """Command-line interface: run the paper's analyses from the shell.
 
+Every subcommand is a thin adapter over the declarative scenario API
+(:mod:`repro.scenarios`): it assembles a :class:`Scenario` from its flags
+and hands it to :class:`ScenarioRunner`, so the CLI, the examples, and the
+sweep machinery all execute experiments through the same code path.
+
 Subcommands:
 
 * ``join`` — compute an optimal joining strategy on a snapshot (generated
@@ -8,60 +13,65 @@ Subcommands:
   for given (a, b, l, s) and compare with the closed-form conditions;
 * ``simulate`` — run the discrete-event simulator on a snapshot and
   report success rates and top earners;
-* ``generate`` — write a synthetic snapshot to a JSON file.
+* ``generate`` — write a synthetic snapshot to a JSON file;
+* ``estimate`` — simulate traffic with known parameters (Zipf ``s``,
+  per-sender rates), then recover them and report the round-trip error;
+* ``run-scenario`` — execute a scenario described as a JSON file
+  (topology + workload + fee + algorithm + simulation) end to end;
+* ``sweep`` — evaluate a scenario JSON over a grid of dotted-path
+  overrides (``--set topology.params.n=10,20,50``), serially or across
+  worker processes (``--executor process``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from . import __version__
 from .analysis import format_table
-from .core import (
-    JoiningUserModel,
-    brute_force,
-    continuous_local_search,
-    exhaustive_discrete,
-    greedy_fixed_funds,
-)
+from .errors import ReproError, ScenarioError
 from .equilibrium import (
     NetworkGameModel,
     check_nash,
-    circle,
-    path,
-    star,
     star_ne_closed_form,
 )
-from .network.fees import LinearFee
-from .params import ModelParameters
-from .simulation import SimulationEngine
-from .snapshots import (
-    barabasi_albert_snapshot,
-    core_periphery_snapshot,
-    load_snapshot,
-    save_snapshot,
+from .scenarios import (
+    AlgorithmSpec,
+    FeeSpec,
+    Scenario,
+    ScenarioRunner,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build_topology,
 )
-from .transactions import ModifiedZipf, PoissonWorkload, TruncatedExponentialSizes
+from .snapshots import save_snapshot
+from .transactions import ModifiedZipf, PoissonWorkload
 
 __all__ = ["main", "build_parser"]
 
 
-def _load_or_generate(args: argparse.Namespace):
+def _topology_spec(args: argparse.Namespace) -> TopologySpec:
+    """The snapshot-flags -> TopologySpec adapter shared by subcommands."""
     if args.snapshot:
-        return load_snapshot(args.snapshot)
+        return TopologySpec("file", {"path": args.snapshot})
     if args.topology == "ba":
-        return barabasi_albert_snapshot(args.nodes, seed=args.seed)
-    return core_periphery_snapshot(
-        core_size=max(args.nodes // 10, 3),
-        periphery_size=args.nodes - max(args.nodes // 10, 3),
-        seed=args.seed,
+        return TopologySpec("ba", {"n": args.nodes})
+    core_size = max(args.nodes // 10, 3)
+    return TopologySpec(
+        "core-periphery",
+        {"core_size": core_size, "periphery_size": args.nodes - core_size},
     )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    graph = _load_or_generate(args)
+    scenario = Scenario(
+        topology=_topology_spec(args), name="generate", seed=args.seed
+    )
+    graph = ScenarioRunner().run(scenario).graph
     save_snapshot(graph, args.output)
     print(
         f"wrote snapshot: {len(graph)} nodes, {graph.num_channels()} channels "
@@ -71,20 +81,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
-    graph = _load_or_generate(args)
-    params = ModelParameters(zipf_s=args.zipf_s)
-    model = JoiningUserModel(graph, args.user, params)
-    if args.algorithm == "greedy":
-        result = greedy_fixed_funds(model, budget=args.budget, lock=args.lock)
+    params: Dict[str, Any] = {"budget": args.budget}
+    if args.algorithm in ("greedy", "bruteforce"):
+        params["lock"] = args.lock
     elif args.algorithm == "exhaustive":
-        result = exhaustive_discrete(
-            model, budget=args.budget, granularity=args.granularity,
-            max_divisions=args.max_divisions,
-        )
-    elif args.algorithm == "continuous":
-        result = continuous_local_search(model, budget=args.budget)
-    else:
-        result = brute_force(model, budget=args.budget, lock=args.lock)
+        params["granularity"] = args.granularity
+        params["max_divisions"] = args.max_divisions
+    scenario = Scenario(
+        topology=_topology_spec(args),
+        algorithm=AlgorithmSpec(
+            args.algorithm,
+            params,
+            user=args.user,
+            model={"zipf_s": args.zipf_s},
+        ),
+        name="join",
+        seed=args.seed,
+    )
+    result = ScenarioRunner().run(scenario).optimisation
     print(result.summary())
     rows = [
         {"peer": str(a.peer), "locked": a.locked} for a in result.strategy
@@ -95,8 +109,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_stability(args: argparse.Namespace) -> int:
-    builders = {"star": star, "path": path, "circle": circle}
-    graph = builders[args.topology_name](args.size)
+    size_param = "leaves" if args.topology_name == "star" else "n"
+    graph = build_topology(
+        TopologySpec(args.topology_name, {size_param: args.size})
+    )
     model = NetworkGameModel(
         a=args.a, b=args.b, edge_cost=args.edge_cost, zipf_s=args.zipf_s
     )
@@ -117,18 +133,25 @@ def _cmd_stability(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    graph = _load_or_generate(args)
-    distribution = ModifiedZipf(graph, s=args.zipf_s)
-    rates = {node: 1.0 for node in graph.nodes}
-    workload = PoissonWorkload(
-        distribution,
-        rates,
-        sizes=TruncatedExponentialSizes(scale=args.tx_scale, high=args.tx_max),
+    scenario = Scenario(
+        topology=_topology_spec(args),
+        workload=WorkloadSpec(
+            "poisson",
+            {
+                "zipf_s": args.zipf_s,
+                "sizes": {
+                    "kind": "truncated-exponential",
+                    "scale": args.tx_scale,
+                    "high": args.tx_max,
+                },
+            },
+        ),
+        fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+        simulation=SimulationSpec(horizon=args.horizon),
+        name="simulate",
         seed=args.seed,
     )
-    engine = SimulationEngine(graph, fee=LinearFee(base=0.01, rate=0.001))
-    engine.schedule_workload(workload, horizon=args.horizon)
-    metrics = engine.run()
+    metrics = ScenarioRunner().run(scenario).metrics
     print(metrics.summary())
     earners = sorted(
         metrics.revenue.items(), key=lambda kv: kv[1], reverse=True
@@ -146,7 +169,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     """Simulate traffic with known parameters, then recover them."""
     from .analysis.estimation import estimate_sender_rates, estimate_zipf_s
 
-    graph = _load_or_generate(args)
+    graph = build_topology(_topology_spec(args), seed=args.seed)
     workload = PoissonWorkload(
         ModifiedZipf(graph, s=args.zipf_s),
         {node: args.sender_rate for node in graph.nodes},
@@ -174,6 +197,80 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         for node, est in top
     ]
     print(format_table(rows, title="busiest senders"))
+    return 0
+
+
+def _load_scenario(path: str) -> Scenario:
+    try:
+        with open(path) as handle:
+            return Scenario.from_json(handle.read())
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path}: {exc}") from exc
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args.scenario)
+    if args.seed is not None:
+        scenario = scenario.with_overrides({"seed": args.seed})
+    result = ScenarioRunner().run(scenario)
+    print(result.summary())
+    print(format_table([result.row], title=scenario.name))
+    return 0
+
+
+def _parse_grid_setting(setting: str) -> Dict[str, List[Any]]:
+    """``"topology.params.n=10,20"`` -> ``{"topology.params.n": [10, 20]}``.
+
+    The value part is parsed as one JSON document first: a JSON array is
+    the explicit list of grid values (the only way to sweep list- or
+    object-valued parameters, e.g.
+    ``fee.params.knots=[[[0,0.1],[5,0.5]]]`` — one value that is itself a
+    list of knots). Otherwise the value splits on commas, each token
+    parsing as JSON when possible and falling back to a bare string (so
+    ``fee.kind=linear`` works unquoted).
+    """
+    path, _, values = setting.partition("=")
+    if not path or not values:
+        raise ScenarioError(
+            f"--set expects PATH=V1[,V2,...], got {setting!r}"
+        )
+    try:
+        document = json.loads(values)
+    except json.JSONDecodeError:
+        pass
+    else:
+        return {path: document if isinstance(document, list) else [document]}
+
+    def parse(token: str) -> Any:
+        try:
+            return json.loads(token)
+        except json.JSONDecodeError:
+            return token
+
+    return {path: [parse(token) for token in values.split(",")]}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args.scenario)
+    grid: Dict[str, List[Any]] = {}
+    for setting in args.set or []:
+        grid.update(_parse_grid_setting(setting))
+    progress = None
+    if args.verbose:
+        progress = lambda index, point: print(f"[{index}] {point}", file=sys.stderr)
+    rows = ScenarioRunner().run_sweep(
+        scenario,
+        grid,
+        executor=args.executor,
+        max_workers=args.workers,
+        progress=progress,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(rows, handle, indent=2)
+        print(f"wrote {len(rows)} rows -> {args.output}")
+    else:
+        print(format_table(rows, title=f"sweep of {scenario.name}"))
     return 0
 
 
@@ -239,13 +336,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("--samples", type=int, default=1000)
     p_est.add_argument("--sender-rate", type=float, default=1.0)
     p_est.set_defaults(func=_cmd_estimate)
+
+    p_run = sub.add_parser(
+        "run-scenario", help="execute a scenario described as a JSON file"
+    )
+    p_run.add_argument("scenario", help="scenario JSON path")
+    p_run.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    p_run.set_defaults(func=_cmd_run_scenario)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="evaluate a scenario over a grid of overrides"
+    )
+    p_sweep.add_argument("scenario", help="base scenario JSON path")
+    p_sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=V1[,V2,...]",
+        help="grid dimension as a dotted override path and its values; "
+        "repeatable (e.g. --set topology.params.n=10,20,50). A JSON "
+        "array is taken as the explicit value list, which allows "
+        "list-valued parameters",
+    )
+    p_sweep.add_argument(
+        "--executor", choices=["serial", "process"], default="serial"
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None, help="process-pool size"
+    )
+    p_sweep.add_argument(
+        "--output", help="write rows as JSON here instead of printing a table"
+    )
+    p_sweep.add_argument(
+        "--verbose", action="store_true", help="log each grid point to stderr"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,10 +1,23 @@
-"""Optimisation algorithms of Section III."""
+"""Optimisation algorithms of Section III.
 
+The four entry points share the :class:`~repro.scenarios.registry
+.JoinAlgorithm` protocol — ``algorithm(model, **kwargs) ->
+OptimisationResult`` — and register themselves in the scenario layer's
+algorithm registry so ``AlgorithmSpec(kind="greedy")`` and friends resolve
+to them.
+"""
+
+from ...scenarios.registry import register_algorithm
 from .bruteforce import brute_force
 from .common import OptimisationResult
 from .continuous import continuous_local_search, lock_grid
 from .exhaustive import count_divisions, exhaustive_discrete, fund_divisions
 from .greedy import greedy_fixed_funds, greedy_over_actions
+
+register_algorithm("greedy")(greedy_fixed_funds)
+register_algorithm("exhaustive")(exhaustive_discrete)
+register_algorithm("continuous")(continuous_local_search)
+register_algorithm("bruteforce")(brute_force)
 
 __all__ = [
     "OptimisationResult",

@@ -6,6 +6,7 @@ from typing import Hashable, List
 
 from ..errors import InvalidParameter
 from ..network.graph import ChannelGraph
+from ..scenarios.registry import register_topology
 
 __all__ = ["star", "path", "circle", "complete", "CENTER"]
 
@@ -18,6 +19,7 @@ def _leaf(i: int) -> str:
     return f"v{i:03d}"
 
 
+@register_topology("star")
 def star(leaves: int, balance: float = 1.0) -> ChannelGraph:
     """A star with ``leaves`` leaf nodes around :data:`CENTER`.
 
@@ -30,6 +32,7 @@ def star(leaves: int, balance: float = 1.0) -> ChannelGraph:
     )
 
 
+@register_topology("path")
 def path(n: int, balance: float = 1.0) -> ChannelGraph:
     """A path graph on ``n`` nodes (Thm 10)."""
     if n < 2:
@@ -39,6 +42,7 @@ def path(n: int, balance: float = 1.0) -> ChannelGraph:
     )
 
 
+@register_topology("circle")
 def circle(n: int, balance: float = 1.0) -> ChannelGraph:
     """A cycle graph on ``n`` nodes (Thm 11)."""
     if n < 3:
@@ -47,6 +51,7 @@ def circle(n: int, balance: float = 1.0) -> ChannelGraph:
     return ChannelGraph.from_edges(edges, balance=balance)
 
 
+@register_topology("complete")
 def complete(n: int, balance: float = 1.0) -> ChannelGraph:
     """A complete graph on ``n`` nodes (everyone channels with everyone)."""
     if n < 2:

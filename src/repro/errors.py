@@ -72,3 +72,19 @@ class SnapshotFormatError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class ScenarioError(ReproError):
+    """A scenario specification is malformed or cannot be executed."""
+
+
+class UnknownPluginError(ScenarioError):
+    """A scenario references a plugin key no registry entry matches."""
+
+    def __init__(self, registry: str, key: str, known: object = ()) -> None:
+        names = ", ".join(sorted(str(k) for k in known)) or "<none>"
+        super().__init__(
+            f"unknown {registry} {key!r}; registered: {names}"
+        )
+        self.registry = registry
+        self.key = key

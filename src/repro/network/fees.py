@@ -22,6 +22,7 @@ import numpy as np
 _trapz = getattr(np, "trapezoid", getattr(np, "trapz", None))
 
 from ..errors import InvalidParameter
+from ..scenarios.registry import register_fee
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..transactions.sizes import TransactionSizeDistribution
@@ -47,6 +48,7 @@ class FeeFunction(abc.ABC):
         return np.array([self(float(a)) for a in amounts], dtype=float)
 
 
+@register_fee("constant")
 class ConstantFee(FeeFunction):
     """A flat fee independent of the transaction amount."""
 
@@ -65,6 +67,7 @@ class ConstantFee(FeeFunction):
         return f"ConstantFee({self.fee})"
 
 
+@register_fee("linear")
 class LinearFee(FeeFunction):
     """Lightning-style fee: ``base + rate * amount``.
 
@@ -90,6 +93,7 @@ class LinearFee(FeeFunction):
         return f"LinearFee(base={self.base}, rate={self.rate})"
 
 
+@register_fee("piecewise")
 class PiecewiseLinearFee(FeeFunction):
     """A fee defined by linear interpolation between ``(amount, fee)`` knots.
 

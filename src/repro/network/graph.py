@@ -64,9 +64,18 @@ class ChannelGraph:
             record_history=record_history,
         )
         if channel.channel_id in self._channels:
-            raise DuplicateChannel(
-                f"channel id {channel.channel_id!r} already present"
-            )
+            if channel_id is not None:
+                raise DuplicateChannel(
+                    f"channel id {channel.channel_id!r} already present"
+                )
+            # Auto-generated id collided with an explicit id (e.g. a graph
+            # loaded from a snapshot written by another process, whose ids
+            # restarted the per-process counter). Draw until free.
+            while channel.channel_id in self._channels:
+                channel = Channel(
+                    u, v, balance_u, balance_v,
+                    record_history=record_history,
+                )
         self.add_node(u)
         self.add_node(v)
         self._channels[channel.channel_id] = channel

@@ -1,0 +1,102 @@
+"""Declarative scenario layer: the one public way to describe experiments.
+
+Describe *what* to run as frozen-dataclass specs (or plain JSON), then let
+:class:`ScenarioRunner` resolve the string keys against the plugin
+registries and drive the library::
+
+    from repro.scenarios import (
+        AlgorithmSpec, Scenario, ScenarioRunner, TopologySpec,
+    )
+
+    scenario = Scenario(
+        topology=TopologySpec("ba", {"n": 50}),
+        algorithm=AlgorithmSpec("greedy", {"budget": 10.0, "lock": 1.0}),
+        seed=7,
+    )
+    result = ScenarioRunner().run(scenario)
+    print(result.optimisation.summary())
+
+Sweeps evaluate a grid of dotted-path overrides, optionally across worker
+processes::
+
+    rows = ScenarioRunner().run_sweep(
+        scenario,
+        {"topology.params.n": [20, 50, 100]},
+        executor="process",
+    )
+
+New topologies/algorithms/fees/workloads plug in via the
+``register_*`` decorators — see :mod:`repro.scenarios.registry`.
+
+Import-order note: this ``__init__`` eagerly exposes only the dependency
+leaves (specs, registries, grid machinery) so provider modules can import
+``repro.scenarios.registry`` at their own import time without a cycle; the
+runner — which imports every builtin provider — loads lazily on first
+attribute access (PEP 562).
+"""
+
+from typing import TYPE_CHECKING
+
+from .grid import derive_seed, evaluate_grid, grid_points
+from .registry import (
+    ALGORITHMS,
+    FEES,
+    JoinAlgorithm,
+    Registry,
+    TOPOLOGIES,
+    WORKLOADS,
+    register_algorithm,
+    register_fee,
+    register_topology,
+    register_workload,
+)
+from .specs import (
+    AlgorithmSpec,
+    FeeSpec,
+    Scenario,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - lazy at runtime, eager for typing
+    from .runner import ScenarioResult, ScenarioRunner, build_topology
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "FEES",
+    "FeeSpec",
+    "JoinAlgorithm",
+    "Registry",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SimulationSpec",
+    "TOPOLOGIES",
+    "TopologySpec",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_topology",
+    "derive_seed",
+    "evaluate_grid",
+    "grid_points",
+    "register_algorithm",
+    "register_fee",
+    "register_topology",
+    "register_workload",
+]
+
+_LAZY_RUNNER_EXPORTS = ("ScenarioResult", "ScenarioRunner", "build_topology")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_RUNNER_EXPORTS:
+        from . import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_RUNNER_EXPORTS))

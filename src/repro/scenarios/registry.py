@@ -1,0 +1,146 @@
+"""String-keyed plugin registries behind the declarative scenario layer.
+
+A :class:`Scenario <repro.scenarios.specs.Scenario>` names its pieces by
+string keys — ``TopologySpec(kind="ba")``, ``AlgorithmSpec(kind="greedy")``
+— and the registries here resolve those keys to the callables that build
+them. Provider modules self-register at import time::
+
+    from repro.scenarios.registry import register_topology
+
+    @register_topology("ba")
+    def barabasi_albert_snapshot(n, ...):
+        ...
+
+This module is a dependency leaf (it imports nothing from the library but
+:mod:`repro.errors`), so any provider module may import it without creating
+an import cycle. :mod:`repro.scenarios.runner` imports the provider
+packages, which guarantees the builtin plugins are registered before a
+scenario is resolved.
+
+Plugin calling conventions:
+
+* **topology** — ``builder(**params) -> ChannelGraph``; builders that
+  accept a ``seed`` keyword receive the scenario seed automatically.
+* **algorithm** — the :class:`JoinAlgorithm` protocol:
+  ``algorithm(model, **params) -> OptimisationResult``.
+* **fee** — ``builder(**params) -> FeeFunction``.
+* **workload** — ``builder(graph, seed=..., **params) -> PoissonWorkload``
+  (or any object with the workload's ``generate`` interface).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    Protocol,
+    TypeVar,
+    runtime_checkable,
+)
+
+from ..errors import ScenarioError, UnknownPluginError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
+    from ..core.algorithms.common import OptimisationResult
+    from ..core.utility import JoiningUserModel
+
+__all__ = [
+    "ALGORITHMS",
+    "FEES",
+    "JoinAlgorithm",
+    "Registry",
+    "TOPOLOGIES",
+    "WORKLOADS",
+    "register_algorithm",
+    "register_fee",
+    "register_topology",
+    "register_workload",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@runtime_checkable
+class JoinAlgorithm(Protocol):
+    """Common protocol of the Section III joining-strategy optimisers.
+
+    Every registered algorithm takes the joining-user model as its first
+    positional argument plus algorithm-specific keyword arguments (budget,
+    lock, granularity, ...), and returns an
+    :class:`~repro.core.algorithms.common.OptimisationResult`.
+    """
+
+    def __call__(
+        self, model: "JoiningUserModel", **kwargs: Any
+    ) -> "OptimisationResult": ...
+
+
+class Registry:
+    """A named mapping from string keys to plugin callables.
+
+    Args:
+        name: human-readable registry name, used in error messages
+            (``"topology"``, ``"algorithm"``, ...).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._plugins: Dict[str, Callable[..., Any]] = {}
+
+    def register(self, key: str, *aliases: str) -> Callable[[F], F]:
+        """Decorator: register the wrapped callable under ``key``.
+
+        Registration is idempotent for the same callable (so re-imports
+        are harmless) but re-registering a key to a *different* callable
+        raises, catching accidental collisions between plugins.
+        """
+
+        def decorator(fn: F) -> F:
+            for k in (key, *aliases):
+                existing = self._plugins.get(k)
+                if existing is not None and existing is not fn:
+                    raise ScenarioError(
+                        f"{self.name} key {k!r} already registered "
+                        f"to {existing!r}"
+                    )
+                self._plugins[k] = fn
+            return fn
+
+        return decorator
+
+    def get(self, key: str) -> Callable[..., Any]:
+        """Resolve ``key``, raising :class:`UnknownPluginError` if absent."""
+        try:
+            return self._plugins[key]
+        except KeyError:
+            raise UnknownPluginError(self.name, key, self._plugins) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._plugins
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._plugins))
+
+    def __len__(self) -> int:
+        return len(self._plugins)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self.name!r}, keys={sorted(self._plugins)})"
+
+
+#: Topology builders: key -> ``(**params) -> ChannelGraph``.
+TOPOLOGIES = Registry("topology")
+#: Joining-strategy optimisers satisfying :class:`JoinAlgorithm`.
+ALGORITHMS = Registry("algorithm")
+#: Fee-function builders: key -> ``(**params) -> FeeFunction``.
+FEES = Registry("fee")
+#: Workload builders: key -> ``(graph, seed=..., **params) -> workload``.
+WORKLOADS = Registry("workload")
+
+register_topology = TOPOLOGIES.register
+register_algorithm = ALGORITHMS.register
+register_fee = FEES.register
+register_workload = WORKLOADS.register

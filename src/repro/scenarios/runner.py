@@ -1,0 +1,263 @@
+"""Execute declarative scenarios: the one engine behind CLI and sweeps.
+
+:class:`ScenarioRunner` turns a :class:`~repro.scenarios.specs.Scenario`
+into results by resolving each spec against the plugin registries and
+driving the existing library layers in the canonical order:
+
+1. **topology** — build the :class:`~repro.network.graph.ChannelGraph`;
+2. **algorithm** — add the joining user and run the Section III optimiser;
+3. **simulation** — attach the workload and fee, run the discrete-event
+   simulator over the configured horizon.
+
+``run`` returns a :class:`ScenarioResult` carrying both the live objects
+(graph, optimisation result, metrics) and a flat, JSON/pickle-friendly
+``row`` of headline numbers. ``run_sweep`` evaluates a parameter grid of
+scenario overrides — serially or on a ``ProcessPoolExecutor`` — with
+deterministic per-point seeds, so both executors produce identical rows.
+
+Importing this module imports the builtin provider modules, which
+self-register their plugins (see :mod:`repro.scenarios.registry`).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+# Imported for the side effect of registering the builtin plugins.
+from ..core import algorithms as _algorithms  # noqa: F401  (greedy, ...)
+from ..core.algorithms.common import OptimisationResult
+from ..core.utility import JoiningUserModel
+from ..equilibrium import topologies  # noqa: F401  (star, path, circle, ...)
+from ..errors import ScenarioError
+from ..network.graph import ChannelGraph
+from ..params import ModelParameters
+from ..simulation.engine import SimulationEngine
+from ..simulation.metrics import SimulationMetrics
+from ..snapshots import io as _snapshot_io  # noqa: F401  (topology: file)
+from ..snapshots import synthetic  # noqa: F401  (topologies: ba, ...)
+from ..transactions import workload as _workloads  # noqa: F401  (poisson)
+from .grid import derive_seed, evaluate_grid, grid_points
+from .registry import ALGORITHMS, FEES, TOPOLOGIES, WORKLOADS
+from .specs import Scenario, SimulationSpec, WorkloadSpec
+
+__all__ = ["ScenarioResult", "ScenarioRunner", "build_topology"]
+
+
+def _accepts_keyword(fn: Callable[..., Any], name: str) -> bool:
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def build_topology(spec, seed: Optional[int] = None) -> ChannelGraph:
+    """Resolve and invoke a topology builder.
+
+    The scenario ``seed`` is forwarded to builders that accept a ``seed``
+    keyword (the synthetic snapshot generators) unless the spec's params
+    already pin one; deterministic builders (star, path, file, ...) are
+    called without it.
+    """
+    builder = TOPOLOGIES.get(spec.kind)
+    params = dict(spec.params)
+    if seed is not None and "seed" not in params and _accepts_keyword(builder, "seed"):
+        params["seed"] = seed
+    return builder(**params)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario execution produced.
+
+    Attributes:
+        scenario: the spec that was executed (with the seed actually used).
+        row: flat mapping of headline numbers — plain JSON/pickle types
+            only, so rows survive process boundaries and concatenate into
+            sweep tables.
+        graph: the (possibly mutated) channel graph.
+        optimisation: present when the scenario had an ``algorithm``.
+        metrics: present when the scenario had a ``simulation``.
+    """
+
+    scenario: Scenario
+    row: Dict[str, Any] = field(default_factory=dict)
+    graph: Optional[ChannelGraph] = None
+    optimisation: Optional[OptimisationResult] = None
+    metrics: Optional[SimulationMetrics] = None
+
+    def summary(self) -> str:
+        """One-line human-readable description of the headline numbers."""
+        parts = [f"[{self.scenario.name}]"]
+        if self.optimisation is not None:
+            parts.append(self.optimisation.summary())
+        if self.metrics is not None:
+            parts.append(self.metrics.summary())
+        if len(parts) == 1 and self.graph is not None:
+            parts.append(
+                f"{len(self.graph)} nodes, {self.graph.num_channels()} channels"
+            )
+        return " ".join(parts)
+
+
+class ScenarioRunner:
+    """Executes scenarios and scenario sweeps.
+
+    The runner is stateless between calls; every ``run`` builds a fresh
+    graph from the spec, so repeated runs (and parallel sweep points) are
+    independent and reproducible from the scenario seed alone.
+    """
+
+    def run(self, scenario: Scenario) -> ScenarioResult:
+        """Execute every stage the scenario declares."""
+        graph = build_topology(scenario.topology, seed=scenario.seed)
+        row: Dict[str, Any] = {
+            "scenario": scenario.name,
+            "seed": scenario.seed,
+            "nodes": len(graph),
+            "channels": graph.num_channels(),
+        }
+        result = ScenarioResult(scenario=scenario, row=row, graph=graph)
+        if scenario.algorithm is not None:
+            result.optimisation = self._run_algorithm(scenario, graph)
+            opt = result.optimisation
+            row.update(
+                algorithm=opt.algorithm,
+                objective=opt.objective_value,
+                utility=opt.utility,
+                strategy_channels=len(opt.strategy),
+                evaluations=opt.evaluations,
+            )
+        if scenario.simulation is not None:
+            result.metrics = self._run_simulation(scenario, graph)
+            metrics = result.metrics
+            row.update(
+                attempted=metrics.attempted,
+                succeeded=metrics.succeeded,
+                failed=metrics.failed,
+                success_rate=metrics.success_rate,
+                volume_delivered=metrics.volume_delivered,
+                total_revenue=sum(metrics.revenue.values()),
+                horizon=metrics.horizon,
+            )
+        return result
+
+    def _run_algorithm(
+        self, scenario: Scenario, graph: ChannelGraph
+    ) -> OptimisationResult:
+        spec = scenario.algorithm
+        assert spec is not None
+        algorithm = ALGORITHMS.get(spec.kind)
+        try:
+            params = ModelParameters(**spec.model)
+        except TypeError as exc:
+            raise ScenarioError(
+                f"invalid AlgorithmSpec.model overrides {spec.model!r}: {exc}"
+            ) from exc
+        model = JoiningUserModel(graph, spec.user, params)
+        try:
+            return algorithm(model, **spec.params)
+        except TypeError as exc:
+            raise ScenarioError(
+                f"algorithm {spec.kind!r} rejected params "
+                f"{spec.params!r}: {exc}"
+            ) from exc
+
+    def _run_simulation(
+        self, scenario: Scenario, graph: ChannelGraph
+    ) -> SimulationMetrics:
+        sim: SimulationSpec = scenario.simulation  # type: ignore[assignment]
+        workload_spec = scenario.workload or WorkloadSpec("poisson")
+        workload_builder = WORKLOADS.get(workload_spec.kind)
+        workload_params = dict(workload_spec.params)
+        workload_params.setdefault("seed", scenario.seed)
+        try:
+            workload = workload_builder(graph, **workload_params)
+        except TypeError as exc:
+            raise ScenarioError(
+                f"workload {workload_spec.kind!r} rejected params "
+                f"{workload_spec.params!r}: {exc}"
+            ) from exc
+        fee = None
+        if scenario.fee is not None:
+            fee_builder = FEES.get(scenario.fee.kind)
+            try:
+                fee = fee_builder(**scenario.fee.params)
+            except TypeError as exc:
+                raise ScenarioError(
+                    f"fee {scenario.fee.kind!r} rejected params "
+                    f"{scenario.fee.params!r}: {exc}"
+                ) from exc
+        engine = SimulationEngine(
+            graph,
+            fee=fee,
+            fee_forwarding=sim.fee_forwarding,
+            path_selection=sim.path_selection,
+            seed=scenario.seed,
+            payment_mode=sim.payment_mode,
+            htlc_hold_mean=sim.htlc_hold_mean,
+        )
+        engine.schedule_workload(workload, horizon=sim.horizon)
+        return engine.run()
+
+    def run_sweep(
+        self,
+        scenario: Scenario,
+        grid: Mapping[str, Sequence[Any]],
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+        progress: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Evaluate ``scenario`` across a grid of dotted-path overrides.
+
+        Each grid key is a :meth:`Scenario.with_overrides` path (e.g.
+        ``"topology.params.n"``, ``"algorithm.params.budget"``); each grid
+        point is applied to a copy of the base scenario, which then runs
+        with seed ``derive_seed(scenario.seed, index)`` — unless the grid
+        itself sweeps ``"seed"``, which wins (and the degenerate empty
+        grid keeps the scenario's own seed, so a one-row sweep agrees
+        with ``run``). Rows merge the point's
+        parameters with the scenario's result row and are returned in grid
+        order for both executors, so ``executor="process"`` is a drop-in
+        speedup for ``executor="serial"``.
+
+        Args:
+            scenario: the base scenario.
+            grid: override path -> values.
+            executor: ``"serial"`` or ``"process"``.
+            max_workers: process-pool size (``"process"`` only).
+            progress: optional ``(index, point)`` callback.
+        """
+        evaluate = partial(_evaluate_sweep_point, scenario.to_dict())
+        return evaluate_grid(
+            grid,
+            evaluate,
+            executor=executor,
+            max_workers=max_workers,
+            progress=progress,
+        )
+
+
+def _evaluate_sweep_point(
+    scenario_doc: Dict[str, Any], index: int, point: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Top-level (hence picklable) sweep-point evaluator."""
+    base = Scenario.from_dict(scenario_doc)
+    overrides = dict(point)
+    if point:
+        # Per-point seeds decorrelate the grid's RNG streams; the
+        # degenerate empty grid keeps the scenario's own seed so a
+        # one-row sweep reproduces `run-scenario` on the same file.
+        overrides.setdefault("seed", derive_seed(base.seed, index))
+    return ScenarioRunner().run(base.with_overrides(overrides)).row

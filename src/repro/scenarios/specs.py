@@ -1,0 +1,346 @@
+"""Declarative, JSON-round-trippable experiment specifications.
+
+Every experiment in the paper has the same shape: build a topology, attach
+a workload and a fee model, run an optimisation algorithm and/or the
+discrete-event simulator, collect result rows. The frozen dataclasses here
+describe that shape as *data*:
+
+* :class:`TopologySpec` — which graph to build (``"ba"``, ``"star"``,
+  ``"file"``, ...) and with what parameters;
+* :class:`WorkloadSpec` — the payment-intent process;
+* :class:`FeeSpec` — the global fee function;
+* :class:`AlgorithmSpec` — the joining-strategy optimiser, the joining
+  user's id, and :class:`~repro.params.ModelParameters` overrides;
+* :class:`SimulationSpec` — discrete-event simulator settings;
+* :class:`Scenario` — the composition of the above plus a name and seed.
+
+All specs round-trip losslessly through plain JSON types::
+
+    Scenario.from_dict(scenario.to_dict()) == scenario
+
+``params`` mappings are normalised to JSON form at construction time
+(tuples become lists, keys become strings), so equality after a JSON
+round-trip holds by construction; non-JSON-serialisable values raise
+:class:`~repro.errors.ScenarioError` immediately rather than at save time.
+
+The string ``kind`` keys are resolved against the plugin registries of
+:mod:`repro.scenarios.registry` by the runner — specs themselves never
+import the heavyweight provider modules, so they stay cheap to construct,
+hash-free to compare, and trivially picklable for process-parallel sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import ScenarioError
+
+__all__ = [
+    "AlgorithmSpec",
+    "FeeSpec",
+    "Scenario",
+    "SimulationSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+]
+
+#: ``to_dict`` documents carry this so future layouts can be migrated.
+SCHEMA_VERSION = 1
+
+
+def _jsonify(value: Any, what: str) -> Any:
+    """Normalise ``value`` to plain JSON types (dicts/lists/scalars)."""
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"{what} must be JSON-serialisable: {exc}") from exc
+
+
+def _require_mapping(document: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(document, Mapping):
+        raise ScenarioError(
+            f"{what} must be a mapping, got {type(document).__name__}"
+        )
+    return document
+
+
+@dataclass(frozen=True)
+class _PluginSpec:
+    """Common shape of the plugin-backed specs: a registry key + params.
+
+    Attributes:
+        kind: key into the corresponding plugin registry.
+        params: keyword arguments passed to the plugin builder; must hold
+            only JSON types (normalised on construction).
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ScenarioError(
+                f"{type(self).__name__}.kind must be a non-empty string, "
+                f"got {self.kind!r}"
+            )
+        name = f"{type(self).__name__}.params"
+        params = _jsonify(dict(_require_mapping(self.params, name)), name)
+        object.__setattr__(self, "params", params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "_PluginSpec":
+        document = _require_mapping(document, cls.__name__)
+        unknown = set(document) - {"kind", "params"}
+        if unknown:
+            raise ScenarioError(
+                f"unknown {cls.__name__} fields: {sorted(unknown)}"
+            )
+        if "kind" not in document:
+            raise ScenarioError(f"{cls.__name__} requires a 'kind' field")
+        return cls(kind=document["kind"], params=document.get("params", {}))
+
+
+@dataclass(frozen=True)
+class TopologySpec(_PluginSpec):
+    """Which channel graph to build.
+
+    Builtin kinds: ``"ba"``, ``"core-periphery"``, ``"erdos-renyi"``
+    (synthetic snapshots), ``"star"``, ``"path"``, ``"circle"``,
+    ``"complete"`` (Section IV topologies), and ``"file"`` (a
+    describegraph JSON snapshot; params: ``path``).
+    """
+
+
+@dataclass(frozen=True)
+class WorkloadSpec(_PluginSpec):
+    """The payment-intent process driven through the simulator.
+
+    Builtin kind ``"poisson"`` (params: ``rate`` or per-node ``rates``,
+    ``distribution`` = ``"zipf"``/``"uniform"``, ``zipf_s``, and a nested
+    ``sizes`` document, e.g. ``{"kind": "truncated-exponential",
+    "scale": 0.5, "high": 5.0}``).
+    """
+
+
+@dataclass(frozen=True)
+class FeeSpec(_PluginSpec):
+    """The global fee function ``F`` of Section II-A.
+
+    Builtin kinds: ``"constant"`` (params: ``fee``), ``"linear"``
+    (params: ``base``, ``rate``), ``"piecewise"`` (params: ``knots`` as a
+    list of ``[amount, fee]`` pairs).
+    """
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec(_PluginSpec):
+    """A joining-strategy optimisation run (Section III).
+
+    Attributes:
+        kind: algorithm registry key (``"greedy"``, ``"exhaustive"``,
+            ``"continuous"``, ``"bruteforce"``).
+        params: algorithm keyword arguments (``budget``, ``lock``,
+            ``granularity``, ...).
+        user: node id under which the joining user is added.
+        model: :class:`~repro.params.ModelParameters` overrides applied on
+            top of the defaults (e.g. ``{"zipf_s": 2.0}``).
+    """
+
+    user: str = "new-user"
+    model: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        model = _jsonify(
+            dict(_require_mapping(self.model, "AlgorithmSpec.model")),
+            "AlgorithmSpec.model",
+        )
+        object.__setattr__(self, "model", model)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = super().to_dict()
+        doc["user"] = self.user
+        doc["model"] = dict(self.model)
+        return doc
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "AlgorithmSpec":
+        document = _require_mapping(document, cls.__name__)
+        unknown = set(document) - {"kind", "params", "user", "model"}
+        if unknown:
+            raise ScenarioError(
+                f"unknown AlgorithmSpec fields: {sorted(unknown)}"
+            )
+        if "kind" not in document:
+            raise ScenarioError("AlgorithmSpec requires a 'kind' field")
+        return cls(
+            kind=document["kind"],
+            params=document.get("params", {}),
+            user=document.get("user", "new-user"),
+            model=document.get("model", {}),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """Discrete-event simulator settings (no plugin key — one engine).
+
+    Attributes mirror :class:`~repro.simulation.engine.SimulationEngine`
+    and its ``schedule_workload`` horizon.
+    """
+
+    horizon: float = 100.0
+    payment_mode: str = "instant"
+    htlc_hold_mean: float = 0.1
+    fee_forwarding: bool = True
+    path_selection: str = "random"
+
+    def __post_init__(self) -> None:
+        for name in ("horizon", "htlc_hold_mean"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ScenarioError(
+                    f"SimulationSpec.{name} must be a number, got {value!r}"
+                )
+        if self.horizon <= 0:
+            raise ScenarioError(
+                f"SimulationSpec.horizon must be > 0, got {self.horizon}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "horizon": self.horizon,
+            "payment_mode": self.payment_mode,
+            "htlc_hold_mean": self.htlc_hold_mean,
+            "fee_forwarding": self.fee_forwarding,
+            "path_selection": self.path_selection,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "SimulationSpec":
+        document = _require_mapping(document, cls.__name__)
+        known = {f.name for f in fields(cls)}
+        unknown = set(document) - known
+        if unknown:
+            raise ScenarioError(
+                f"unknown SimulationSpec fields: {sorted(unknown)}"
+            )
+        return cls(**dict(document))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-described experiment: topology + optional stages.
+
+    A scenario with only a ``topology`` builds a graph; adding an
+    ``algorithm`` runs a joining-strategy optimiser on it; adding a
+    ``simulation`` (with an optional ``workload`` and ``fee``) drives the
+    discrete-event simulator. The single ``seed`` feeds every stochastic
+    stage, so a scenario is a complete, reproducible experiment record.
+    """
+
+    topology: TopologySpec
+    workload: Optional[WorkloadSpec] = None
+    fee: Optional[FeeSpec] = None
+    algorithm: Optional[AlgorithmSpec] = None
+    simulation: Optional[SimulationSpec] = None
+    name: str = "scenario"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.topology, TopologySpec):
+            raise ScenarioError(
+                "Scenario.topology must be a TopologySpec, "
+                f"got {type(self.topology).__name__}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ScenarioError(f"Scenario.seed must be an int, got {self.seed!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON document; optional stages are omitted when unset."""
+        doc: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "topology": self.topology.to_dict(),
+        }
+        for key in ("workload", "fee", "algorithm", "simulation"):
+            spec = getattr(self, key)
+            if spec is not None:
+                doc[key] = spec.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "Scenario":
+        document = _require_mapping(document, "Scenario")
+        known = {
+            "schema_version", "name", "seed", "topology",
+            "workload", "fee", "algorithm", "simulation",
+        }
+        unknown = set(document) - known
+        if unknown:
+            raise ScenarioError(f"unknown Scenario fields: {sorted(unknown)}")
+        version = document.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ScenarioError(
+                f"unsupported scenario schema_version {version!r} "
+                f"(this library reads version {SCHEMA_VERSION})"
+            )
+        if "topology" not in document:
+            raise ScenarioError("Scenario requires a 'topology' section")
+
+        def section(key: str, spec_cls: Any) -> Any:
+            raw = document.get(key)
+            return None if raw is None else spec_cls.from_dict(raw)
+
+        return cls(
+            topology=TopologySpec.from_dict(document["topology"]),
+            workload=section("workload", WorkloadSpec),
+            fee=section("fee", FeeSpec),
+            algorithm=section("algorithm", AlgorithmSpec),
+            simulation=section("simulation", SimulationSpec),
+            name=document.get("name", "scenario"),
+            seed=document.get("seed", 0),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(document)
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "Scenario":
+        """A copy with dotted-path overrides applied.
+
+        Paths address the ``to_dict`` document: ``"seed"``,
+        ``"topology.params.n"``, ``"algorithm.params.budget"``,
+        ``"simulation.horizon"``, ... Intermediate mappings are created as
+        needed, so a sweep can set ``"fee.kind"`` on a scenario that has
+        no fee section yet (sibling fields then take their defaults).
+        """
+        doc = self.to_dict()
+        for path, value in overrides.items():
+            parts = path.split(".")
+            node = doc
+            for part in parts[:-1]:
+                child = node.get(part)
+                if child is None:
+                    child = node[part] = {}
+                elif not isinstance(child, dict):
+                    raise ScenarioError(
+                        f"override path {path!r} descends into "
+                        f"non-mapping segment {part!r}"
+                    )
+                node = child
+            node[parts[-1]] = value
+        return Scenario.from_dict(doc)

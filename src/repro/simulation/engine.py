@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+import numpy as np
+
 from ..errors import RoutingError, SimulationError
 from ..network.fees import FeeFunction
 from ..network.graph import ChannelGraph
@@ -75,8 +77,6 @@ class SimulationEngine:
         self.htlc_hold_mean = htlc_hold_mean
         self._htlc_router = HtlcRouter(graph, fee=fee)
         self._pending_htlcs = {}
-        import numpy as np
-
         self._hold_rng = np.random.default_rng(
             seed + 1 if seed is not None else None
         )

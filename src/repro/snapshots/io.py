@@ -22,6 +22,7 @@ from typing import Union
 
 from ..errors import SnapshotFormatError
 from ..network.graph import ChannelGraph
+from ..scenarios.registry import register_topology
 
 __all__ = ["to_describegraph", "from_describegraph", "save_snapshot", "load_snapshot"]
 
@@ -92,6 +93,7 @@ def save_snapshot(graph: ChannelGraph, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(to_describegraph(graph), indent=2))
 
 
+@register_topology("file")
 def load_snapshot(path: Union[str, Path]) -> ChannelGraph:
     """Load a describegraph JSON snapshot from ``path``."""
     try:

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import InvalidParameter
 from ..network.graph import ChannelGraph
+from ..scenarios.registry import register_topology
 
 __all__ = [
     "barabasi_albert_snapshot",
@@ -57,6 +58,7 @@ def _fund_channels(
     return pcn
 
 
+@register_topology("ba", "barabasi-albert")
 def barabasi_albert_snapshot(
     n: int,
     attachments: int = 2,
@@ -83,6 +85,7 @@ def barabasi_albert_snapshot(
     return _fund_channels(structure, rng, capacity_mu, capacity_sigma, balance_skew)
 
 
+@register_topology("core-periphery")
 def core_periphery_snapshot(
     core_size: int = 12,
     periphery_size: int = 88,
@@ -121,6 +124,7 @@ def core_periphery_snapshot(
     return _fund_channels(structure, rng, capacity_mu, capacity_sigma, balance_skew)
 
 
+@register_topology("erdos-renyi", "er")
 def erdos_renyi_snapshot(
     n: int,
     p: float = 0.1,

@@ -18,7 +18,7 @@ from .sizes import (
     TruncatedExponentialSizes,
     UniformSizes,
 )
-from .workload import PoissonWorkload, Transaction
+from .workload import PoissonWorkload, Transaction, build_poisson_workload
 from .zipf import ModifiedZipf
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "TruncatedExponentialSizes",
     "UniformDistribution",
     "UniformSizes",
+    "build_poisson_workload",
     "degree_ranking",
     "edge_probabilities",
     "edge_rates",

@@ -15,11 +15,17 @@ from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..errors import InvalidParameter
-from .distributions import TransactionDistribution
-from .sizes import FixedSize, TransactionSizeDistribution
+from ..errors import InvalidParameter, ScenarioError
+from ..scenarios.registry import register_workload
+from .distributions import TransactionDistribution, UniformDistribution
+from .sizes import (
+    FixedSize,
+    TransactionSizeDistribution,
+    TruncatedExponentialSizes,
+    UniformSizes,
+)
 
-__all__ = ["Transaction", "PoissonWorkload"]
+__all__ = ["Transaction", "PoissonWorkload", "build_poisson_workload"]
 
 
 @dataclass(frozen=True)
@@ -104,3 +110,79 @@ class PoissonWorkload:
             row = table.setdefault(tx.sender, {})
             row[tx.receiver] = row.get(tx.receiver, 0) + 1
         return table
+
+
+def _build_sizes(document: Optional[Mapping]) -> Optional[TransactionSizeDistribution]:
+    """Build a size distribution from a nested workload-spec document."""
+    if document is None:
+        return None
+    kinds = {
+        "fixed": FixedSize,
+        "uniform": UniformSizes,
+        "truncated-exponential": TruncatedExponentialSizes,
+    }
+    params = dict(document)
+    kind = params.pop("kind", None)
+    if kind not in kinds:
+        raise ScenarioError(
+            f"unknown size distribution {kind!r}; known: {sorted(kinds)}"
+        )
+    try:
+        return kinds[kind](**params)
+    except TypeError as exc:
+        raise ScenarioError(
+            f"size distribution {kind!r} rejected params {params!r}: {exc}"
+        ) from exc
+
+
+@register_workload("poisson")
+def build_poisson_workload(
+    graph,
+    seed: Optional[int] = None,
+    rate: float = 1.0,
+    rates: Optional[Mapping[str, float]] = None,
+    distribution: str = "zipf",
+    zipf_s: float = 1.0,
+    sizes: Optional[Mapping] = None,
+) -> PoissonWorkload:
+    """The ``"poisson"`` workload plugin: a marked Poisson process on ``graph``.
+
+    Args:
+        graph: the :class:`~repro.network.graph.ChannelGraph` to draw
+            senders/receivers from.
+        seed: RNG seed (injected by the scenario runner).
+        rate: uniform per-sender rate ``N_u`` applied to every node.
+        rates: explicit per-node rates; overrides ``rate`` where given
+            (nodes absent from the mapping keep ``rate``).
+        distribution: receiver choice — ``"zipf"`` (the paper's
+            modified-Zipf model, skew ``zipf_s``) or ``"uniform"``.
+        zipf_s: Zipf scale parameter (``"zipf"`` only).
+        sizes: nested size-distribution document, e.g.
+            ``{"kind": "truncated-exponential", "scale": 0.5, "high": 5.0}``;
+            default is fixed size 1.
+    """
+    from .zipf import ModifiedZipf  # local: keeps this module a light import
+
+    if distribution == "zipf":
+        receiver_choice: TransactionDistribution = ModifiedZipf(graph, s=zipf_s)
+    elif distribution == "uniform":
+        receiver_choice = UniformDistribution(list(graph.nodes))
+    else:
+        raise ScenarioError(
+            f"unknown receiver distribution {distribution!r}; "
+            "known: ['uniform', 'zipf']"
+        )
+    sender_rates = {node: rate for node in graph.nodes}
+    if rates is not None:
+        unknown = sorted(str(node) for node in rates if node not in sender_rates)
+        if unknown:
+            raise ScenarioError(
+                f"rates name nodes not in the graph: {unknown}"
+            )
+        sender_rates.update({node: float(r) for node, r in rates.items()})
+    return PoissonWorkload(
+        receiver_choice,
+        sender_rates,
+        sizes=_build_sizes(sizes),
+        seed=seed,
+    )

@@ -1,6 +1,14 @@
 """Unit tests for the sweep driver."""
 
+import pytest
+
 from repro.analysis.sweeps import grid_points, run_sweep
+from repro.errors import ScenarioError
+
+
+def _square(x):
+    # top-level so it pickles for the process executor
+    return {"square": x * x}
 
 
 class TestGridPoints:
@@ -44,3 +52,13 @@ class TestRunSweep:
             progress=lambda i, point: seen.append((i, point["x"])),
         )
         assert seen == [(0, 1), (1, 2)]
+
+    def test_process_executor_matches_serial(self):
+        grid = {"x": [1, 2, 3, 4]}
+        serial = run_sweep(grid, _square)
+        parallel = run_sweep(grid, _square, executor="process", max_workers=2)
+        assert serial == parallel
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ScenarioError):
+            run_sweep({"x": [1]}, _square, executor="threads")

@@ -29,6 +29,20 @@ class TestConstruction:
         with pytest.raises(DuplicateChannel):
             graph.add_channel("a", "c", 1.0, channel_id="x")
 
+    def test_auto_ids_skip_past_explicit_ids(self):
+        # A snapshot written by another process carries explicit chan-N ids
+        # that a fresh process's auto-id counter would mint again; auto
+        # generation must skip over them instead of raising.
+        probe = ChannelGraph().add_channel("x", "y", 1.0)
+        next_auto = int(probe.channel_id.split("-")[1]) + 1
+        graph = ChannelGraph()
+        taken = {f"chan-{i}" for i in range(next_auto, next_auto + 3)}
+        for i, channel_id in enumerate(sorted(taken)):
+            graph.add_channel("a", f"b{i}", 1.0, channel_id=channel_id)
+        fresh = graph.add_channel("a", "c", 1.0)
+        assert fresh.channel_id not in taken
+        assert graph.num_channels() == 4
+
     def test_parallel_channels_allowed(self):
         graph = ChannelGraph()
         graph.add_channel("a", "b", 1.0)

@@ -1,0 +1,90 @@
+"""Plugin registries: builtin coverage, lookup errors, collision rules."""
+
+import pytest
+
+from repro.errors import ScenarioError, UnknownPluginError
+from repro.scenarios import (
+    ALGORITHMS,
+    FEES,
+    JoinAlgorithm,
+    Registry,
+    TOPOLOGIES,
+    WORKLOADS,
+)
+# Importing the runner guarantees the builtin providers are registered.
+from repro.scenarios.runner import ScenarioRunner  # noqa: F401
+
+
+class TestBuiltins:
+    def test_topologies_registered(self):
+        for key in ("ba", "core-periphery", "erdos-renyi", "star", "path",
+                    "circle", "complete", "file"):
+            assert key in TOPOLOGIES
+
+    def test_algorithms_registered(self):
+        for key in ("greedy", "exhaustive", "continuous", "bruteforce"):
+            assert key in ALGORITHMS
+
+    def test_fees_registered(self):
+        for key in ("constant", "linear", "piecewise"):
+            assert key in FEES
+
+    def test_workloads_registered(self):
+        assert "poisson" in WORKLOADS
+
+    def test_algorithms_satisfy_join_protocol(self):
+        for key in ALGORITHMS:
+            assert isinstance(ALGORITHMS.get(key), JoinAlgorithm)
+
+
+class TestLookupErrors:
+    def test_unknown_topology_key(self):
+        with pytest.raises(UnknownPluginError) as exc:
+            TOPOLOGIES.get("hypercube")
+        assert "hypercube" in str(exc.value)
+        assert "ba" in str(exc.value)  # known keys are listed
+
+    def test_unknown_algorithm_key(self):
+        with pytest.raises(UnknownPluginError):
+            ALGORITHMS.get("simulated-annealing")
+
+    def test_unknown_fee_key(self):
+        with pytest.raises(UnknownPluginError):
+            FEES.get("quadratic")
+
+    def test_unknown_workload_key(self):
+        with pytest.raises(UnknownPluginError):
+            WORKLOADS.get("burst")
+
+    def test_unknown_plugin_error_is_scenario_error(self):
+        assert issubclass(UnknownPluginError, ScenarioError)
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        registry = Registry("thing")
+
+        @registry.register("x", "alias-x")
+        def build():
+            return 1
+
+        assert registry.get("x") is build
+        assert registry.get("alias-x") is build
+        assert len(registry) == 2
+        assert list(registry) == ["alias-x", "x"]
+
+    def test_reregistering_same_callable_is_idempotent(self):
+        registry = Registry("thing")
+
+        def build():
+            return 1
+
+        registry.register("x")(build)
+        registry.register("x")(build)
+        assert registry.get("x") is build
+
+    def test_key_collision_rejected(self):
+        registry = Registry("thing")
+        registry.register("x")(lambda: 1)
+        with pytest.raises(ScenarioError):
+            registry.register("x")(lambda: 2)

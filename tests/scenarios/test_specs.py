@@ -1,0 +1,167 @@
+"""Spec construction, JSON round-trips, and override semantics."""
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    AlgorithmSpec,
+    FeeSpec,
+    Scenario,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+def full_scenario() -> Scenario:
+    return Scenario(
+        topology=TopologySpec("ba", {"n": 30, "attachments": 2}),
+        workload=WorkloadSpec(
+            "poisson",
+            {
+                "zipf_s": 1.5,
+                "sizes": {"kind": "uniform", "low": 0.0, "high": 2.0},
+            },
+        ),
+        fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+        algorithm=AlgorithmSpec(
+            "greedy",
+            {"budget": 8.0, "lock": 1.0},
+            user="joiner",
+            model={"zipf_s": 1.5},
+        ),
+        simulation=SimulationSpec(horizon=25.0, payment_mode="htlc"),
+        name="full",
+        seed=42,
+    )
+
+
+class TestRoundTrip:
+    def test_minimal_scenario(self):
+        s = Scenario(topology=TopologySpec("star", {"leaves": 5}))
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_full_scenario(self):
+        s = full_scenario()
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_survives_json_text(self):
+        s = full_scenario()
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_survives_json_dump_load(self):
+        s = full_scenario()
+        assert Scenario.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+
+    def test_tuple_params_normalise_to_json_form(self):
+        # tuples become lists on construction, so equality after a JSON
+        # round-trip holds even for tuple-valued params
+        spec = FeeSpec("piecewise", {"knots": ((0.0, 0.1), (5.0, 0.5))})
+        assert spec.params["knots"] == [[0.0, 0.1], [5.0, 0.5]]
+        assert FeeSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_each_plugin_spec_round_trips(self):
+        for cls, kind in [
+            (TopologySpec, "ba"),
+            (WorkloadSpec, "poisson"),
+            (FeeSpec, "constant"),
+        ]:
+            spec = cls(kind, {"x": 1})
+            assert cls.from_dict(spec.to_dict()) == spec
+
+    def test_simulation_spec_round_trips(self):
+        spec = SimulationSpec(horizon=5.0, payment_mode="htlc")
+        assert SimulationSpec.from_dict(spec.to_dict()) == spec
+
+    def test_optional_sections_omitted_from_dict(self):
+        doc = Scenario(topology=TopologySpec("ba", {"n": 10})).to_dict()
+        assert "workload" not in doc
+        assert "algorithm" not in doc
+
+
+class TestValidation:
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ScenarioError):
+            TopologySpec("")
+
+    def test_non_json_params_rejected_at_construction(self):
+        with pytest.raises(ScenarioError):
+            TopologySpec("ba", {"rng": object()})
+
+    def test_unknown_scenario_fields_rejected(self):
+        doc = Scenario(topology=TopologySpec("ba")).to_dict()
+        doc["typo"] = 1
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict(doc)
+
+    def test_unknown_spec_fields_rejected(self):
+        with pytest.raises(ScenarioError):
+            TopologySpec.from_dict({"kind": "ba", "parms": {}})
+
+    def test_non_mapping_params_rejected(self):
+        with pytest.raises(ScenarioError):
+            TopologySpec.from_dict({"kind": "ba", "params": 5})
+        with pytest.raises(ScenarioError):
+            TopologySpec("ba", params=[1, 2])
+
+    def test_non_mapping_model_rejected(self):
+        with pytest.raises(ScenarioError):
+            AlgorithmSpec.from_dict({"kind": "greedy", "model": [1]})
+
+    def test_missing_topology_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict({"name": "x", "seed": 0})
+
+    def test_unsupported_schema_version_rejected(self):
+        doc = Scenario(topology=TopologySpec("ba")).to_dict()
+        doc["schema_version"] = 99
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict(doc)
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_json("{not json")
+
+    def test_non_positive_horizon_rejected(self):
+        with pytest.raises(ScenarioError):
+            SimulationSpec(horizon=0.0)
+
+    def test_non_numeric_horizon_rejected(self):
+        # a quoted number is an easy hand-edit mistake in scenario JSON
+        with pytest.raises(ScenarioError):
+            SimulationSpec(horizon="100")
+
+    def test_non_numeric_htlc_hold_mean_rejected(self):
+        with pytest.raises(ScenarioError):
+            SimulationSpec(htlc_hold_mean=None)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario(topology=TopologySpec("ba"), seed="7")
+
+
+class TestOverrides:
+    def test_override_nested_param(self):
+        s = full_scenario()
+        out = s.with_overrides({"topology.params.n": 99, "seed": 1})
+        assert out.topology.params["n"] == 99
+        assert out.seed == 1
+        # untouched sections survive
+        assert out.fee == s.fee
+
+    def test_override_creates_missing_section(self):
+        s = Scenario(topology=TopologySpec("ba", {"n": 10}))
+        out = s.with_overrides({"fee.kind": "constant", "fee.params.fee": 0.2})
+        assert out.fee == FeeSpec("constant", {"fee": 0.2})
+
+    def test_override_through_scalar_rejected(self):
+        s = Scenario(topology=TopologySpec("ba", {"n": 10}))
+        with pytest.raises(ScenarioError):
+            s.with_overrides({"name.sub": 1})
+
+    def test_original_unchanged(self):
+        s = full_scenario()
+        s.with_overrides({"topology.params.n": 1})
+        assert s.topology.params["n"] == 30

@@ -95,3 +95,100 @@ class TestSimulate:
         assert code == 0
         out = capsys.readouterr().out
         assert "payments:" in out
+
+
+def write_scenario(path, **overrides):
+    doc = {
+        "name": "cli-test",
+        "seed": 4,
+        "topology": {"kind": "ba", "params": {"n": 12}},
+        "workload": {"kind": "poisson", "params": {"zipf_s": 1.0}},
+        "fee": {"kind": "linear", "params": {"base": 0.01, "rate": 0.001}},
+        "algorithm": {"kind": "greedy", "params": {"budget": 4.0, "lock": 1.0}},
+        "simulation": {"horizon": 3.0},
+    }
+    doc.update(overrides)
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestRunScenario:
+    def test_executes_scenario_json(self, tmp_path, capsys):
+        scen = write_scenario(tmp_path / "scen.json")
+        code = main(["run-scenario", str(scen)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[cli-test]" in out
+        assert "[greedy]" in out
+        assert "payments:" in out
+
+    def test_seed_override(self, tmp_path, capsys):
+        scen = write_scenario(tmp_path / "scen.json")
+        code = main(["run-scenario", str(scen), "--seed", "99"])
+        assert code == 0
+        assert "99" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_parse_grid_setting_scalars_and_json_lists(self):
+        from repro.cli import _parse_grid_setting
+
+        assert _parse_grid_setting("topology.params.n=10,20") == {
+            "topology.params.n": [10, 20]
+        }
+        assert _parse_grid_setting("fee.kind=linear") == {"fee.kind": ["linear"]}
+        # a JSON array is the explicit value list: the only way to sweep
+        # list-valued parameters such as piecewise fee knots
+        assert _parse_grid_setting("fee.params.knots=[[[0,0.1],[5,0.5]]]") == {
+            "fee.params.knots": [[[0, 0.1], [5, 0.5]]]
+        }
+
+    def test_scenario_errors_print_cleanly(self, tmp_path, capsys):
+        scen = write_scenario(
+            tmp_path / "scen.json",
+            algorithm={"kind": "no-such-algo", "params": {}},
+        )
+        code = main(["run-scenario", str(scen)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no-such-algo" in err
+
+    def test_sweep_prints_table(self, tmp_path, capsys):
+        scen = write_scenario(tmp_path / "scen.json")
+        code = main(
+            ["sweep", str(scen), "--set", "topology.params.n=8,10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep of cli-test" in out
+        assert "topology.params.n" in out
+
+    def test_sweep_writes_json_output(self, tmp_path, capsys):
+        scen = write_scenario(tmp_path / "scen.json")
+        rows_path = tmp_path / "rows.json"
+        code = main(
+            ["sweep", str(scen), "--set", "topology.params.n=8,10",
+             "--output", str(rows_path)]
+        )
+        assert code == 0
+        rows = json.loads(rows_path.read_text())
+        assert [row["nodes"] for row in rows] == [8, 10]
+
+    def test_sweep_process_executor_matches_serial(self, tmp_path, capsys):
+        scen = write_scenario(tmp_path / "scen.json")
+        serial_path = tmp_path / "serial.json"
+        process_path = tmp_path / "process.json"
+        assert main(
+            ["sweep", str(scen), "--set", "topology.params.n=8,10",
+             "--output", str(serial_path)]
+        ) == 0
+        assert main(
+            ["sweep", str(scen), "--set", "topology.params.n=8,10",
+             "--executor", "process", "--workers", "2",
+             "--output", str(process_path)]
+        ) == 0
+        assert (
+            json.loads(serial_path.read_text())
+            == json.loads(process_path.read_text())
+        )
