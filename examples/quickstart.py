@@ -1,46 +1,66 @@
 #!/usr/bin/env python
 """Quickstart: find the optimal way to join a payment channel network.
 
-Builds a synthetic Lightning-like snapshot, models a new user with a
-budget, runs Algorithm 1 (greedy with fixed funds per channel), and prints
-the chosen channels with a breakdown of the utility components.
+Describes the whole experiment as one declarative :class:`repro.Scenario`
+— a synthetic Lightning-like snapshot, a new user with a budget, and
+Algorithm 1 (greedy with fixed funds per channel) — runs it through the
+scenario API, and prints the chosen channels with a breakdown of the
+utility components.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import JoiningUserModel, ModelParameters, greedy_fixed_funds
+from repro import (
+    AlgorithmSpec,
+    JoiningUserModel,
+    ModelParameters,
+    Scenario,
+    ScenarioRunner,
+    TopologySpec,
+)
 from repro.analysis import format_table
-from repro.snapshots import barabasi_albert_snapshot
+
+# Model parameters: on-chain cost C, opportunity rate r, fees, the Zipf
+# transaction skew s, and traffic rates (Section II).
+MODEL = dict(
+    onchain_cost=0.5,
+    opportunity_rate=0.01,
+    fee_avg=0.5,
+    fee_out_avg=0.1,
+    total_tx_rate=100.0,
+    user_tx_rate=5.0,
+    zipf_s=1.0,
+)
 
 
 def main() -> None:
-    # 1. A 50-node preferential-attachment snapshot (heavy-tailed degrees,
-    #    lognormal capacities) standing in for a public LN snapshot.
-    graph = barabasi_albert_snapshot(50, attachments=2, seed=7)
-    print(f"network: {len(graph)} nodes, {graph.num_channels()} channels")
-
-    # 2. Model parameters: on-chain cost C, opportunity rate r, fees, the
-    #    Zipf transaction skew s, and traffic rates (Section II).
-    params = ModelParameters(
-        onchain_cost=0.5,
-        opportunity_rate=0.01,
-        fee_avg=0.5,
-        fee_out_avg=0.1,
-        total_tx_rate=100.0,
-        user_tx_rate=5.0,
-        zipf_s=1.0,
+    # One declarative experiment record: a 50-node preferential-attachment
+    # snapshot (heavy-tailed degrees, lognormal capacities) standing in
+    # for a public LN snapshot, plus Algorithm 1 with budget B_u = 5 and
+    # lock l1 = 1 coin per channel. The single seed makes the whole run
+    # reproducible — save scenario.to_json() and you can rerun it later.
+    scenario = Scenario(
+        name="quickstart",
+        topology=TopologySpec("ba", {"n": 50, "attachments": 2}),
+        algorithm=AlgorithmSpec(
+            "greedy",
+            params={"budget": 5.0, "lock": 1.0},
+            user="me",
+            model=MODEL,
+        ),
+        seed=7,
     )
 
-    # 3. The joining user's utility model (Section II-C).
-    model = JoiningUserModel(graph, "me", params)
-
-    # 4. Algorithm 1: budget B_u = 5, lock l1 = 1 coin per channel.
-    result = greedy_fixed_funds(model, budget=5.0, lock=1.0)
+    result = ScenarioRunner().run(scenario)
+    graph = result.graph
+    print(f"network: {len(graph)} nodes, {graph.num_channels()} channels")
     print(result.summary())
 
-    # 5. Break the chosen strategy down.
-    strategy = result.strategy
+    # Break the chosen strategy down by rebuilding the utility model the
+    # runner used (Section II-C) on the same graph and parameters.
+    strategy = result.optimisation.strategy
+    model = JoiningUserModel(graph, "me", ModelParameters(**MODEL))
     rows = [
         {
             "component": "expected routing revenue (E_rev)",

@@ -1,54 +1,60 @@
 #!/usr/bin/env python
 """Validate the analytic model against the discrete-event simulator.
 
-Generates a snapshot, predicts per-node routing revenue with Eq. 3 and
-per-edge rates with Eq. 2, then runs a Poisson payment workload through
-the simulator and compares predictions with what intermediaries actually
-earn. Also shows how payment size interacts with channel capacities (the
-reduced-subgraph effect of Section II-B).
+Describes the experiment as one declarative :class:`repro.Scenario`
+(topology + workload + fee + simulation), predicts per-node routing
+revenue with Eq. 3, runs the scenario through the runner, and compares
+predictions with what intermediaries actually earn. A scenario *sweep*
+over payment sizes then shows how size interacts with channel capacities
+(the reduced-subgraph effect of Section II-B).
 
 Run:
     python examples/simulate_network.py
 """
 
-from repro.analysis import format_table
-from repro.network import ConstantFee
-from repro.simulation import SimulationEngine
-from repro.snapshots import barabasi_albert_snapshot
-from repro.transactions import (
-    FixedSize,
-    ModifiedZipf,
-    PoissonWorkload,
-    intermediary_traffic,
+from repro import (
+    FeeSpec,
+    Scenario,
+    ScenarioRunner,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
 )
+from repro.analysis import format_table
+from repro.transactions import ModifiedZipf, intermediary_traffic
 
 FEE = 0.25
 HORIZON = 300.0
 
 
 def main() -> None:
-    graph = barabasi_albert_snapshot(
-        15, seed=5, capacity_mu=6.0, capacity_sigma=0.2
+    runner = ScenarioRunner()
+    scenario = Scenario(
+        name="analytic-vs-simulated",
+        topology=TopologySpec(
+            "ba", {"n": 15, "capacity_mu": 6.0, "capacity_sigma": 0.2}
+        ),
+        workload=WorkloadSpec(
+            "poisson",
+            {"rate": 1.0, "zipf_s": 1.0, "sizes": {"kind": "fixed", "size": 1.0}},
+        ),
+        fee=FeeSpec("constant", {"fee": FEE}),
+        simulation=SimulationSpec(horizon=HORIZON, fee_forwarding=False),
+        seed=5,
     )
+
+    result = runner.run(scenario)
+    graph = result.graph
+    metrics = result.metrics
+    print(metrics.summary())
+    print()
+
+    # --- analytic predictions (Eq. 3) on the CSR view of the same graph ---
     distribution = ModifiedZipf(graph, s=1.0)
     per_sender = {node: 1.0 for node in graph.nodes}
-
-    # --- analytic predictions (Eq. 3) -------------------------------------
     predicted_traffic = intermediary_traffic(
         graph, distribution, per_sender_rates=per_sender
     )
-
-    # --- simulation ---------------------------------------------------------
-    workload = PoissonWorkload(
-        distribution, per_sender, sizes=FixedSize(1.0), seed=11
-    )
-    engine = SimulationEngine(
-        graph.copy(), fee=ConstantFee(FEE), fee_forwarding=False
-    )
-    engine.schedule_workload(workload, HORIZON)
-    metrics = engine.run(until=HORIZON)
-    print(metrics.summary())
-    print()
 
     top = sorted(predicted_traffic, key=predicted_traffic.get, reverse=True)[:8]
     rows = [
@@ -63,25 +69,31 @@ def main() -> None:
     print(format_table(rows, title="Eq. 3 prediction vs simulated revenue"))
 
     # --- capacity effects: larger payments fail more --------------------------
+    # One sweep over the workload's size document. Topology and workload
+    # seeds are pinned in the spec so every point runs the *same* graph
+    # and arrival pattern — only the payment size varies, isolating the
+    # reduced-subgraph effect.
     print()
-    rows = []
-    for size in (0.5, 2.0, 8.0, 32.0):
-        sized = PoissonWorkload(
-            distribution, per_sender, sizes=FixedSize(size), seed=13
-        )
-        engine = SimulationEngine(graph.copy(), fee=ConstantFee(FEE))
-        engine.schedule_workload(sized, 50.0)
-        m = engine.run(until=50.0)
-        rows.append(
+    sweep_rows = runner.run_sweep(
+        scenario.with_overrides(
             {
-                "payment_size": size,
-                "success_rate": m.success_rate,
-                "failures": m.failed,
+                "simulation.horizon": 50.0,
+                "topology.params.seed": 5,
+                "workload.params.seed": 13,
             }
-        )
+        ),
+        grid={"workload.params.sizes.size": [0.5, 2.0, 8.0, 32.0]},
+    )
     print(
         format_table(
-            rows,
+            [
+                {
+                    "payment_size": row["workload.params.sizes.size"],
+                    "success_rate": row["success_rate"],
+                    "failures": row["failed"],
+                }
+                for row in sweep_rows
+            ],
             title="payment size vs success (the reduced subgraph G' shrinks)",
         )
     )

@@ -3,8 +3,9 @@
 The library models the incentive structure behind payment channel network
 (PCN) creation:
 
-* :mod:`repro.network` — channels, the channel graph, routing, fees, and
-  pair-weighted betweenness (the PCN substrate);
+* :mod:`repro.network` — channels, the channel graph with its immutable
+  CSR :class:`GraphView` snapshots, routing, fees, and pair-weighted
+  betweenness (the PCN substrate);
 * :mod:`repro.transactions` — the modified-Zipf transaction distribution,
   size distributions, Poisson workloads, and rate estimation (Eq. 2);
 * :mod:`repro.snapshots` — synthetic Lightning-like topologies and
@@ -57,7 +58,14 @@ from .errors import (
     SnapshotFormatError,
 )
 from .params import DEFAULT_PARAMS, ModelParameters
-from .network import ChannelGraph, Channel, Router
+from .network import (
+    BetweennessArrays,
+    Channel,
+    ChannelGraph,
+    GraphView,
+    Router,
+    betweenness_arrays,
+)
 from .core import (
     Action,
     ActionSpace,
@@ -86,12 +94,13 @@ from .scenarios import (
 )
 from .scenarios.runner import ScenarioResult, ScenarioRunner
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Action",
     "ActionSpace",
     "AlgorithmSpec",
+    "BetweennessArrays",
     "BudgetExceeded",
     "Channel",
     "ChannelGraph",
@@ -100,6 +109,8 @@ __all__ = [
     "DuplicateChannel",
     "FeeSpec",
     "GraphError",
+    "GraphView",
+    "betweenness_arrays",
     "InsufficientBalance",
     "InvalidParameter",
     "JoiningUserModel",

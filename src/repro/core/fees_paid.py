@@ -24,17 +24,29 @@ import math
 from collections import deque
 from typing import Dict, Hashable, Mapping
 
-import networkx as nx
-
 from ..errors import InvalidParameter
+from ..network.views import GraphView, bfs_distances
 
 __all__ = ["expected_fees", "single_source_hops", "HOP_CONVENTIONS"]
 
 HOP_CONVENTIONS = ("path-length", "intermediaries")
 
 
-def single_source_hops(digraph: nx.DiGraph, source: Hashable) -> Dict[Hashable, int]:
-    """Directed BFS hop distances from ``source`` (missing = unreachable)."""
+def single_source_hops(digraph, source: Hashable) -> Dict[Hashable, int]:
+    """Directed BFS hop distances from ``source`` (missing = unreachable).
+
+    ``digraph`` may be a :class:`~repro.network.views.GraphView` (one
+    vectorised BFS over the CSR arrays) or a legacy ``nx.DiGraph``.
+    """
+    if isinstance(digraph, GraphView):
+        if source not in digraph:
+            return {}
+        levels = bfs_distances(digraph, digraph.index_of(source))
+        return {
+            digraph.nodes[i]: int(d)
+            for i, d in enumerate(levels)
+            if d >= 0
+        }
     if source not in digraph:
         return {}
     dist: Dict[Hashable, int] = {source: 0}
@@ -49,7 +61,7 @@ def single_source_hops(digraph: nx.DiGraph, source: Hashable) -> Dict[Hashable, 
 
 
 def expected_fees(
-    digraph: nx.DiGraph,
+    digraph,
     user: Hashable,
     own_probs: Mapping[Hashable, float],
     user_tx_rate: float,
@@ -59,7 +71,8 @@ def expected_fees(
     """``E_fees(user)`` under the given receiver distribution.
 
     Args:
-        digraph: the (possibly reduced) directed network view.
+        digraph: the (possibly reduced) directed network view — a
+            :class:`~repro.network.views.GraphView` or an ``nx.DiGraph``.
         user: the sender.
         own_probs: ``p_trans(user, v)`` per receiver ``v`` (should sum to 1
             over intended receivers).

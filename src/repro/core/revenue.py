@@ -12,9 +12,7 @@ i.e. ``f_avg`` times the pair-weighted *intermediary* betweenness of ``u``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Mapping, Optional
-
-import networkx as nx
+from typing import Callable, Dict, Hashable, Iterable, Optional
 
 from ..network.betweenness import pair_weighted_betweenness
 
@@ -22,22 +20,23 @@ __all__ = ["expected_revenue", "revenue_profile"]
 
 
 def revenue_profile(
-    digraph: nx.DiGraph,
+    digraph,
     pair_weight: Callable[[Hashable, Hashable], float],
     fee_avg: float,
     sources: Optional[Iterable[Hashable]] = None,
 ) -> Dict[Hashable, float]:
     """Expected revenue of *every* node under ``pair_weight`` traffic.
 
-    ``pair_weight(s, r)`` should already fold in the sender rate, e.g.
-    ``N_s * p_trans(s, r)``.
+    ``digraph`` may be a :class:`~repro.network.views.GraphView` (the fast
+    CSR path) or a legacy ``nx.DiGraph``. ``pair_weight(s, r)`` should
+    already fold in the sender rate, e.g. ``N_s * p_trans(s, r)``.
     """
     result = pair_weighted_betweenness(digraph, pair_weight, sources=sources)
     return {node: fee_avg * value for node, value in result.node.items()}
 
 
 def expected_revenue(
-    digraph: nx.DiGraph,
+    digraph,
     user: Hashable,
     pair_weight: Callable[[Hashable, Hashable], float],
     fee_avg: float,

@@ -62,6 +62,11 @@ class JoiningUserModel:
             (dual-funded channel).
         routing_amount: when > 0, evaluate on the reduced subgraph that can
             carry this amount (Section II-B); makes locked capital matter.
+        backend: ``"views"`` (default) evaluates revenue and fees on
+            immutable CSR :class:`~repro.network.views.GraphView` snapshots
+            (vectorised Brandes/BFS); ``"networkx"`` keeps the legacy
+            dict-of-dict path — retained for parity tests and the
+            old-vs-new perf benchmark.
         revenue_mode: how ``E_rev`` is computed.
 
             * ``"betweenness"`` (default) — exact pair-weighted intermediary
@@ -91,6 +96,7 @@ class JoiningUserModel:
         routing_amount: float = 0.0,
         revenue_mode: str = "betweenness",
         cost_model: Optional["CostModel"] = None,
+        backend: str = "views",
     ) -> None:
         if new_user in graph:
             raise InvalidParameter(
@@ -108,6 +114,10 @@ class JoiningUserModel:
                 "revenue_mode must be 'betweenness' or 'fixed-rate', "
                 f"got {revenue_mode!r}"
             )
+        if backend not in ("views", "networkx"):
+            raise InvalidParameter(
+                f"backend must be 'views' or 'networkx', got {backend!r}"
+            )
 
         self.base_graph = graph
         self.new_user = new_user
@@ -117,6 +127,7 @@ class JoiningUserModel:
         self.routing_amount = routing_amount
         self.revenue_mode = revenue_mode
         self.cost_model = cost_model
+        self.backend = backend
         self._fixed_rates: Optional[Dict[Hashable, float]] = None
 
         if distribution is None:
@@ -167,6 +178,13 @@ class JoiningUserModel:
         self.stats = {"revenue_evals": 0, "fee_evals": 0, "graph_edits": 0}
 
     # -- strategy application --------------------------------------------------
+
+    def _routing_view(self, graph: ChannelGraph):
+        """The reduced directed view in the configured backend's form."""
+        view = graph.view(directed=True, reduced=self.routing_amount)
+        if self.backend == "views":
+            return view
+        return view.to_networkx()
 
     def _deposit_for(self, action: Action) -> float:
         if self.peer_deposit == "match":
@@ -235,7 +253,7 @@ class JoiningUserModel:
         nominal = max(self.routing_amount, 1.0)
         for peer in self.base_graph.nodes:
             full.add_channel(self.new_user, peer, nominal, nominal)
-        digraph = full.to_directed(min_balance=self.routing_amount)
+        digraph = self._routing_view(full)
         sources = [
             v for v in self.base_graph.nodes if self._sender_rates.get(v, 0) > 0
         ]
@@ -265,7 +283,7 @@ class JoiningUserModel:
                 peers.add(action.peer)
             return self.params.fee_avg * sum(rates.get(p, 0.0) for p in peers)
         self._apply(strategy)
-        digraph = self._work.to_directed(min_balance=self.routing_amount)
+        digraph = self._routing_view(self._work)
         sources = [v for v in self.base_graph.nodes if self._sender_rates.get(v, 0) > 0]
         return expected_revenue(
             digraph,
@@ -279,7 +297,7 @@ class JoiningUserModel:
         """``E_fees(S)`` — fees paid for the user's own traffic."""
         self._apply(strategy)
         self.stats["fee_evals"] += 1
-        digraph = self._work.to_directed(min_balance=self.routing_amount)
+        digraph = self._routing_view(self._work)
         return expected_fees(
             digraph,
             self.new_user,

@@ -8,9 +8,10 @@ region against the simulated best-response region (bench E8).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Tuple
+
+import numpy as np
 
 from ..errors import InvalidParameter
 
@@ -25,11 +26,18 @@ __all__ = [
 ]
 
 
+def _harmonic_prefix(n: int, s: float) -> np.ndarray:
+    """``H^s_1 .. H^s_n`` as one cumulative-sum array pass."""
+    return np.cumsum(np.arange(1, n + 1, dtype=np.float64) ** -s)
+
+
 def harmonic(n: int, s: float) -> float:
     """Generalised harmonic number ``H^s_n = Σ_{k=1}^n k^{-s}``."""
     if n < 0:
         raise InvalidParameter(f"n must be >= 0, got {n}")
-    return sum(1.0 / k**s for k in range(1, n + 1))
+    if n == 0:
+        return 0.0
+    return float(_harmonic_prefix(n, s)[-1])
 
 
 @dataclass
@@ -80,16 +88,26 @@ def star_ne_conditions(
     """
     if n < 2:
         raise InvalidParameter("Thm 8 requires at least 2 leaves")
-    hn = harmonic(n, s)
+    prefix = _harmonic_prefix(n, s)
+    hn = float(prefix[-1])
     two_pow = 2.0**s
     result = StarNEConditions(n=n, s=s, a=a, b=b, l=l)
     result.condition1_margin = two_pow * l - a / hn
-    for i in range(2, n):
-        hi1 = harmonic(i + 1, s)
+    if n > 2:
+        # Both condition families for all i = 2..n-1 in one array pass;
+        # prefix[i] = H^s_{i+1} (0-based cumulative sums).
+        i = np.arange(2, n, dtype=np.float64)
+        hi1 = prefix[2:n]
         lhs2 = b * (i / 2.0) * (hi1 - 1.0 - 1.0 / two_pow) / hn + a * (hi1 - 1.0) / hn
-        result.condition2_margins.append((i, l * i - lhs2))
         lhs3 = b * (i / 2.0) * (hn - 1.0 - 1.0 / two_pow) / hn + a * (hi1 - 2.0) / hn
-        result.condition3_margins.append((i, l * (i - 1) - lhs3))
+        margins2 = l * i - lhs2
+        margins3 = l * (i - 1.0) - lhs3
+        result.condition2_margins.extend(
+            (int(k), float(m)) for k, m in zip(i, margins2)
+        )
+        result.condition3_margins.extend(
+            (int(k), float(m)) for k, m in zip(i, margins3)
+        )
     return result
 
 

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, Tuple
 
-import networkx as nx
+import numpy as np
 
 from ..errors import InvalidParameter, NodeNotFound
 from ..network.graph import ChannelGraph
+from ..network.views import bfs_distances, shortest_path_indices
 from ..params import ModelParameters
 from ..transactions.rates import edge_rates
 from ..transactions.zipf import ModifiedZipf
@@ -51,32 +52,35 @@ def longest_shortest_path_through(
 ) -> List[Hashable]:
     """A longest shortest path that has ``hub`` as an internal-or-end node.
 
-    Scans all node pairs; among pairs whose shortest-path distance equals
+    All-pairs BFS over the undirected CSR view (one vectorised pass per
+    source); among pairs whose shortest-path distance equals
     ``d(s, hub) + d(hub, t)`` (hub lies on *some* shortest path), returns
     one concrete path realised through the hub.
     """
     if hub not in graph:
         raise NodeNotFound(hub)
-    undirected = graph.to_undirected()
-    dist = dict(nx.all_pairs_shortest_path_length(undirected))
-    hub_dist = dist.get(hub, {})
-    best_pair: Optional[Tuple[Hashable, Hashable]] = None
-    best_len = -1
-    for s, row in dist.items():
-        for t, d in row.items():
-            if s == t:
-                continue
-            if hub_dist.get(s) is None or hub_dist.get(t) is None:
-                continue
-            if hub_dist[s] + hub_dist[t] == d and d > best_len:
-                best_len = d
-                best_pair = (s, t)
-    if best_pair is None:
+    view = graph.view(directed=False)
+    n = view.num_nodes
+    hub_idx = view.index_of(hub)
+    dist = np.stack([bfs_distances(view, s) for s in range(n)])
+    hub_dist = dist[hub_idx]
+    reachable = hub_dist >= 0
+    through_hub = (
+        reachable[:, None]
+        & reachable[None, :]
+        & (dist >= 0)
+        & (dist == hub_dist[:, None] + hub_dist[None, :])
+    )
+    np.fill_diagonal(through_hub, False)
+    candidates = np.where(through_hub, dist, -1)
+    best_len = int(candidates.max()) if n else -1
+    if best_len < 1:
         return [hub]
-    s, t = best_pair
-    first = nx.shortest_path(undirected, s, hub)
-    second = nx.shortest_path(undirected, hub, t)
-    return first + second[1:]
+    s_idx, t_idx = np.unravel_index(int(candidates.argmax()), candidates.shape)
+    first = shortest_path_indices(view, int(s_idx), hub_idx)
+    second = shortest_path_indices(view, hub_idx, int(t_idx))
+    assert first is not None and second is not None
+    return [view.nodes[i] for i in first + second[1:]]
 
 
 def analyse_hub_path(

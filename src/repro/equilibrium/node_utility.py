@@ -94,7 +94,7 @@ class NetworkGameModel:
         if node not in graph:
             raise NodeNotFound(node)
         distribution = ModifiedZipf(graph, s=self.zipf_s)
-        digraph = graph.to_directed()
+        digraph = graph.view(directed=True)
         rows: Dict[Hashable, Dict[Hashable, float]] = {}
 
         def weight(s: Hashable, r: Hashable) -> float:
@@ -123,7 +123,7 @@ class NetworkGameModel:
         from ..core.fees_paid import expected_fees
 
         return expected_fees(
-            graph.to_directed(),
+            graph.view(directed=True),
             node,
             receivers,
             user_tx_rate=1.0,

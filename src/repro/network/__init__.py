@@ -1,10 +1,19 @@
-"""PCN substrate: channels, the channel graph, fees, routing, betweenness."""
+"""PCN substrate: channels, the channel graph, views, fees, routing,
+betweenness."""
 
 from .betweenness import (
+    BetweennessArrays,
     BetweennessResult,
+    betweenness_arrays,
     pair_weighted_betweenness,
     pair_weighted_betweenness_exact,
     uniform_pair_weight,
+)
+from .views import (
+    GraphView,
+    bfs_distances,
+    bfs_shortest_path_tree,
+    shortest_path_indices,
 )
 from .channel import Channel, PaymentRecord
 from .htlc import Htlc, HtlcError, HtlcPayment, HtlcRouter, HtlcState
@@ -30,11 +39,18 @@ from .fees import (
     average_fee,
 )
 from .graph import ChannelGraph
-from .reduced import feasible_pairs, infeasible_edges, reduced_digraph
+from .reduced import feasible_pairs, infeasible_edges, reduced_digraph, reduced_view
 from .routing import PaymentOutcome, Route, Router
 
 __all__ = [
+    "BetweennessArrays",
     "BetweennessResult",
+    "GraphView",
+    "betweenness_arrays",
+    "bfs_distances",
+    "bfs_shortest_path_tree",
+    "shortest_path_indices",
+    "reduced_view",
     "Channel",
     "ChannelGraph",
     "ChannelImbalance",

@@ -22,17 +22,29 @@ Plain ``networkx`` betweenness weights every pair equally, so we implement:
 * :func:`pair_weighted_betweenness_exact` — literal enumeration of all
   shortest paths per pair. Exponentially slower; used as the ground-truth
   cross-check in tests and bench E11.
+
+``pair_weighted_betweenness`` accepts either a legacy ``nx.DiGraph`` (the
+original dict-of-dict Brandes pass) or a :class:`~repro.network.views.GraphView`
+CSR snapshot, in which case the whole accumulation — BFS, sigma counting,
+and the backward dependency sweep — runs as vectorised numpy passes over
+the view's arrays (:func:`betweenness_arrays`). The CSR path is the
+hot-loop backend behind Eq. 2/Eq. 3 everywhere in the library.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Hashable, Iterable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
+
+from .views import SMALL_GRAPH_NODES, GraphView, bfs_shortest_path_tree
 
 __all__ = [
+    "BetweennessArrays",
     "BetweennessResult",
+    "betweenness_arrays",
     "pair_weighted_betweenness",
     "pair_weighted_betweenness_exact",
     "uniform_pair_weight",
@@ -67,6 +79,150 @@ class BetweennessResult:
 
     def node_value(self, node: Hashable) -> float:
         return self.node.get(node, 0.0)
+
+
+class BetweennessArrays:
+    """Array-form pair-weighted betweenness of one :class:`GraphView`.
+
+    Attributes:
+        view: the CSR snapshot the accumulation ran on.
+        node_values: ``float64[n]`` intermediary traffic per node index.
+        edge_values: ``float64[m]`` Eq. 2 accumulation per CSR entry.
+    """
+
+    __slots__ = ("view", "node_values", "edge_values")
+
+    def __init__(
+        self, view: GraphView, node_values: np.ndarray, edge_values: np.ndarray
+    ) -> None:
+        self.view = view
+        self.node_values = node_values
+        self.edge_values = edge_values
+
+    def to_result(self) -> "BetweennessResult":
+        """Translate the arrays into the dict-keyed legacy result shape."""
+        nodes = self.view.nodes
+        node = {label: float(v) for label, v in zip(nodes, self.node_values)}
+        rows = self.view.entry_rows()
+        edge: Dict[Edge, float] = {}
+        nonzero = np.nonzero(self.edge_values)[0]
+        for pos in nonzero:
+            edge[(nodes[rows[pos]], nodes[self.view.indices[pos]])] = float(
+                self.edge_values[pos]
+            )
+        return BetweennessResult(node, edge)
+
+
+def _betweenness_arrays_small(
+    view: GraphView,
+    pair_weight: PairWeight,
+    source_indices,
+    uniform: bool,
+) -> BetweennessArrays:
+    """Classic per-node Brandes over cached adjacency lists (small graphs)."""
+    n = view.num_nodes
+    adj = view.adjacency_lists()
+    nodes = view.nodes
+    node_buf = [0.0] * n
+    edge_buf = [0.0] * view.num_entries
+    for s in source_indices:
+        dist = [-1] * n
+        sigma = [0.0] * n
+        preds: List[list] = [[] for _ in range(n)]
+        order = [s]
+        dist[s] = 0
+        sigma[s] = 1.0
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            next_dist = dist[v] + 1
+            sigma_v = sigma[v]
+            for w, entry in adj[v]:
+                if dist[w] < 0:
+                    dist[w] = next_dist
+                    order.append(w)
+                    queue.append(w)
+                if dist[w] == next_dist:
+                    sigma[w] += sigma_v
+                    preds[w].append((v, entry))
+        delta = [0.0] * n
+        s_label = nodes[s]
+        for w in reversed(order):
+            if w == s:
+                continue
+            weight = 1.0 if uniform else pair_weight(s_label, nodes[w])
+            coeff = (weight + delta[w]) / sigma[w]
+            for v, entry in preds[w]:
+                contribution = sigma[v] * coeff
+                if contribution != 0.0:
+                    edge_buf[entry] += contribution
+                    delta[v] += contribution
+        for v in order:
+            if v != s:
+                node_buf[v] += delta[v]
+    return BetweennessArrays(
+        view,
+        np.asarray(node_buf, dtype=np.float64),
+        np.asarray(edge_buf, dtype=np.float64),
+    )
+
+
+def betweenness_arrays(
+    view: GraphView,
+    pair_weight: PairWeight = uniform_pair_weight,
+    sources: Optional[Iterable[Hashable]] = None,
+) -> BetweennessArrays:
+    """Brandes' accumulation with per-pair weights over CSR arrays.
+
+    The per-source pass is Brandes' backward sweep as numpy level-at-a-time
+    dependency vectors: for each BFS level (deepest first), the coefficient
+    ``(w(s, t) + delta[t]) / sigma[t]`` is computed for every tree edge at
+    once and scattered into the per-entry and per-node accumulators. Small
+    graphs take an equivalent per-node python pass instead, where the
+    vectorisation overhead would dominate.
+    """
+    n = view.num_nodes
+    if sources is None:
+        source_indices = range(n)
+    else:
+        source_indices = [
+            view.node_index[s] for s in sources if s in view.node_index
+        ]
+    uniform = pair_weight is uniform_pair_weight
+    if n < SMALL_GRAPH_NODES:
+        return _betweenness_arrays_small(
+            view, pair_weight, source_indices, uniform
+        )
+    node_acc = np.zeros(n, dtype=np.float64)
+    edge_acc = np.zeros(view.num_entries, dtype=np.float64)
+    delta = np.zeros(n, dtype=np.float64)
+    weights = np.ones(n, dtype=np.float64) if uniform else np.zeros(n)
+    for s in source_indices:
+        tree = bfs_shortest_path_tree(view, s)
+        if not tree.levels:
+            continue
+        if not uniform:
+            s_label = view.nodes[s]
+            # Weights are only consumed at reached targets; unreached
+            # entries may stay zero.
+            weights[:] = 0.0
+            for t in np.nonzero(tree.dist >= 0)[0]:
+                if t != s:
+                    weights[t] = pair_weight(s_label, view.nodes[t])
+        delta[:] = 0.0
+        sigma = tree.sigma
+        for entries, srcs, targets in reversed(tree.levels):
+            contrib = (
+                sigma[srcs] * (weights[targets] + delta[targets]) / sigma[targets]
+            )
+            # A CSR entry is a tree edge of exactly one level and appears
+            # once in it, so plain fancy-index += is a safe scatter here;
+            # sources repeat, so delta needs a true scatter-add.
+            edge_acc[entries] += contrib
+            delta += np.bincount(srcs, weights=contrib, minlength=n)
+        delta[s] = 0.0
+        node_acc += delta
+    return BetweennessArrays(view, node_acc, edge_acc)
 
 
 def _bfs_shortest_paths(
@@ -105,7 +261,9 @@ def pair_weighted_betweenness(
     """Brandes' algorithm with per-pair dependency weights.
 
     Args:
-        graph: directed graph; shortest paths are hop counts.
+        graph: a :class:`~repro.network.views.GraphView` CSR snapshot (the
+            fast vectorised path) or a legacy directed networkx graph;
+            shortest paths are hop counts either way.
         pair_weight: ``w(s, r)`` — the weight each ordered pair contributes
             (e.g. ``N_s * p_trans(s, r)`` for transaction rates).
         sources: restrict the outer loop to these sources (defaults to all
@@ -116,6 +274,8 @@ def pair_weighted_betweenness(
         :class:`BetweennessResult` with node (intermediary-only) and edge
         accumulations.
     """
+    if isinstance(graph, GraphView):
+        return betweenness_arrays(graph, pair_weight, sources=sources).to_result()
     node_acc: Dict[Hashable, float] = {v: 0.0 for v in graph.nodes}
     edge_acc: Dict[Edge, float] = {}
     if sources is None:
@@ -152,6 +312,8 @@ def pair_weighted_betweenness_exact(
     fractional traffic. Exponential in the worst case; only for small
     graphs (tests, cross-validation benches).
     """
+    if isinstance(graph, GraphView):
+        graph = graph.to_networkx()
     node_acc: Dict[Hashable, float] = {v: 0.0 for v in graph.nodes}
     edge_acc: Dict[Edge, float] = {}
     for s in graph.nodes:

@@ -57,7 +57,10 @@ class Channel:
         record_history: keep a list of :class:`PaymentRecord` for auditing.
     """
 
-    __slots__ = ("u", "v", "_balances", "channel_id", "_history")
+    __slots__ = (
+        "u", "v", "_balances", "channel_id", "_history",
+        "fee_base", "fee_rate", "_on_mutate",
+    )
 
     def __init__(
         self,
@@ -67,16 +70,27 @@ class Channel:
         balance_v: float = 0.0,
         channel_id: Optional[str] = None,
         record_history: bool = False,
+        fee_base: float = 0.0,
+        fee_rate: float = 0.0,
     ) -> None:
         if u == v:
             raise InvalidParameter("a channel needs two distinct endpoints")
         if balance_u < 0 or balance_v < 0:
             raise InvalidParameter("channel balances must be non-negative")
+        if fee_base < 0 or fee_rate < 0:
+            raise InvalidParameter("channel fee params must be non-negative")
         self.u = u
         self.v = v
         self._balances = {u: float(balance_u), v: float(balance_v)}
         self.channel_id = channel_id if channel_id is not None else _next_channel_id()
         self._history: Optional[List[PaymentRecord]] = [] if record_history else None
+        #: Per-channel fee policy (Lightning base/proportional form);
+        #: surfaced in GraphView's fee arrays. Zero = policy-free channel.
+        self.fee_base = float(fee_base)
+        self.fee_rate = float(fee_rate)
+        # Balance-mutation callback installed by the owning ChannelGraph so
+        # cached views are invalidated when payments move funds.
+        self._on_mutate = None
 
     # -- introspection ----------------------------------------------------
 
@@ -127,6 +141,7 @@ class Channel:
         self._balances[receiver] += amount
         if self._history is not None:
             self._history.append(PaymentRecord(sender, receiver, amount, timestamp))
+        self._notify()
 
     def deposit(self, node: Hashable, amount: float) -> None:
         """Add ``amount`` fresh coins to ``node``'s side (a splice-in)."""
@@ -134,6 +149,7 @@ class Channel:
         if amount < 0:
             raise InvalidParameter(f"deposit must be >= 0, got {amount}")
         self._balances[node] += amount
+        self._notify()
 
     def withdraw(self, node: Hashable, amount: float) -> None:
         """Remove ``amount`` from ``node``'s side (splice-out / escrow).
@@ -150,8 +166,15 @@ class Channel:
         if self._balances[node] < amount:
             raise InsufficientBalance(self._balances[node], amount)
         self._balances[node] -= amount
+        self._notify()
 
     # -- helpers -----------------------------------------------------------
+
+    def _notify(self) -> None:
+        """Tell the owning graph a balance moved (view-cache invalidation)."""
+        callback = self._on_mutate
+        if callback is not None:
+            callback()
 
     def directed_views(self) -> Iterator[Tuple[Hashable, Hashable, float]]:
         """Yield the channel as two directed edges ``(src, dst, balance)``."""

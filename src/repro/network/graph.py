@@ -9,18 +9,30 @@ the rest of the library needs:
   and for the reduced subgraph ``G'`` of Section II-B;
 * in-degree counts used by the modified-Zipf ranking of Section II-B (each
   bidirectional channel contributes one in-edge to each endpoint).
+
+Views are immutable CSR snapshots (:class:`~repro.network.views.GraphView`)
+produced by :meth:`ChannelGraph.view` and cached keyed on the graph's
+mutation version — every structural change *and* every balance movement
+bumps the version, so algorithms can never observe a stale snapshot. The
+legacy ``to_undirected()`` / ``to_directed()`` networkx materialisations
+remain as thin deprecated wrappers over ``view(...).to_networkx()``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
 from ..errors import ChannelNotFound, DuplicateChannel, InvalidParameter, NodeNotFound
 from .channel import Channel
+from .views import GraphView, build_view
 
 __all__ = ["ChannelGraph"]
+
+#: Cached views kept per graph before stale entries are pruned.
+_VIEW_CACHE_LIMIT = 32
 
 
 class ChannelGraph:
@@ -34,9 +46,19 @@ class ChannelGraph:
     def __init__(self) -> None:
         self._channels: Dict[str, Channel] = {}
         self._adjacency: Dict[Hashable, Set[str]] = {}
-        self._version = 0  # bumped on every mutation; used for view caching
-        self._cached_undirected: Optional[Tuple[int, nx.Graph]] = None
-        self._cached_directed: Optional[Tuple[int, nx.DiGraph]] = None
+        # Bumped on every mutation — structural (add/remove) and balance
+        # (send/deposit/withdraw, via the channel callback) — so cached
+        # views are keyed on the complete observable state.
+        self._version = 0
+        self._views: Dict[Tuple[bool, float], Tuple[int, GraphView]] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (structure and balances)."""
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # -- construction -------------------------------------------------------
 
@@ -53,6 +75,8 @@ class ChannelGraph:
         balance_v: float = 0.0,
         channel_id: Optional[str] = None,
         record_history: bool = False,
+        fee_base: float = 0.0,
+        fee_rate: float = 0.0,
     ) -> Channel:
         """Open a channel between ``u`` and ``v`` and return it.
 
@@ -62,6 +86,7 @@ class ChannelGraph:
         channel = Channel(
             u, v, balance_u, balance_v, channel_id=channel_id,
             record_history=record_history,
+            fee_base=fee_base, fee_rate=fee_rate,
         )
         if channel.channel_id in self._channels:
             if channel_id is not None:
@@ -75,12 +100,14 @@ class ChannelGraph:
                 channel = Channel(
                     u, v, balance_u, balance_v,
                     record_history=record_history,
+                    fee_base=fee_base, fee_rate=fee_rate,
                 )
         self.add_node(u)
         self.add_node(v)
         self._channels[channel.channel_id] = channel
         self._adjacency[u].add(channel.channel_id)
         self._adjacency[v].add(channel.channel_id)
+        channel._on_mutate = self._bump_version
         self._version += 1
         return channel
 
@@ -92,6 +119,7 @@ class ChannelGraph:
             raise ChannelNotFound(None, None, channel_id) from None
         self._adjacency[channel.u].discard(channel_id)
         self._adjacency[channel.v].discard(channel_id)
+        channel._on_mutate = None
         self._version += 1
         return channel
 
@@ -105,7 +133,9 @@ class ChannelGraph:
         self._version += 1
 
     def copy(self) -> "ChannelGraph":
-        """Deep copy (channel balances are copied, history is dropped)."""
+        """Deep copy: balances and per-channel settings are copied, past
+        payment records are dropped (cloned channels start a fresh history
+        when recording was on)."""
         clone = ChannelGraph()
         for node in self._adjacency:
             clone.add_node(node)
@@ -116,6 +146,9 @@ class ChannelGraph:
                 channel.balance(channel.u),
                 channel.balance(channel.v),
                 channel_id=channel.channel_id,
+                record_history=channel._history is not None,
+                fee_base=channel.fee_base,
+                fee_rate=channel.fee_rate,
             )
         return clone
 
@@ -206,61 +239,77 @@ class ChannelGraph:
         for channel in self._channels.values():
             yield from channel.directed_views()
 
-    # -- networkx views ---------------------------------------------------------
+    # -- views --------------------------------------------------------------
+
+    def view(self, directed: bool = True, reduced: float = 0.0) -> GraphView:
+        """An immutable CSR snapshot of the current graph state.
+
+        Args:
+            directed: per-direction balances (True) or the symmetric
+                collapsed adjacency (False).
+            reduced: drop directed entries whose aggregated balance is
+                strictly below this amount — the reduced subgraph ``G'``
+                of Section II-B for transactions of size ``reduced``.
+
+        Views are cached keyed on ``(directed, reduced)`` and the graph's
+        mutation version; balance movements bump the version, so a cached
+        view can never serve stale capacities to the router.
+        """
+        if reduced < 0:
+            raise InvalidParameter("reduced must be >= 0")
+        key = (directed, float(reduced))
+        hit = self._views.get(key)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        if len(self._views) >= _VIEW_CACHE_LIMIT:
+            self._views = {
+                k: v for k, v in self._views.items() if v[0] == self._version
+            }
+            # Same-version entries (distinct `reduced` amounts) can also
+            # pile up, e.g. under a liquidity sweep on a static graph —
+            # evict oldest-inserted until below the cap.
+            while len(self._views) >= _VIEW_CACHE_LIMIT:
+                self._views.pop(next(iter(self._views)))
+        snapshot = build_view(self, directed, reduced)
+        self._views[key] = (self._version, snapshot)
+        return snapshot
+
+    # -- deprecated networkx materialisations --------------------------------
 
     def to_undirected(self) -> nx.Graph:
-        """Simple undirected unit-weight view (parallel channels collapsed).
+        """Deprecated: use ``view(directed=False).to_networkx()``.
 
-        The view is cached and invalidated on any structural mutation; the
-        cache makes repeated distance queries cheap during optimisation.
+        Simple undirected unit-weight view (parallel channels collapsed,
+        ``capacity`` edge attribute).
         """
-        if self._cached_undirected is not None:
-            version, graph = self._cached_undirected
-            if version == self._version:
-                return graph
-        graph = nx.Graph()
-        graph.add_nodes_from(self._adjacency)
-        for channel in self._channels.values():
-            if graph.has_edge(channel.u, channel.v):
-                graph[channel.u][channel.v]["capacity"] += channel.capacity
-            else:
-                graph.add_edge(channel.u, channel.v, capacity=channel.capacity)
-        self._cached_undirected = (self._version, graph)
-        return graph
+        warnings.warn(
+            "ChannelGraph.to_undirected() is deprecated; use "
+            "view(directed=False) (or .to_networkx() on it for a "
+            "networkx graph)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.view(directed=False).to_networkx()
 
     def to_directed(self, min_balance: float = 0.0) -> nx.DiGraph:
-        """Directed view with aggregated per-direction balances.
+        """Deprecated: use ``view(directed=True, reduced=...)``.
 
-        Edges whose balance is strictly below ``min_balance`` are omitted;
-        with ``min_balance = x`` this is the reduced subgraph ``G'`` of
-        Section II-B for transactions of size ``x``.
-
-        Note: balances change under simulation, so the directed view is only
-        cached for ``min_balance == 0``.
+        Directed view with aggregated per-direction balances (``balance``
+        edge attribute); ``min_balance`` gives the reduced subgraph ``G'``.
         """
-        if min_balance == 0.0 and self._cached_directed is not None:
-            version, graph = self._cached_directed
-            if version == self._version:
-                return graph
-        graph = nx.DiGraph()
-        graph.add_nodes_from(self._adjacency)
-        for src, dst, balance in self.directed_edges():
-            if graph.has_edge(src, dst):
-                graph[src][dst]["balance"] += balance
-            else:
-                graph.add_edge(src, dst, balance=balance)
+        warnings.warn(
+            "ChannelGraph.to_directed() is deprecated; use "
+            "view(directed=True, reduced=min_balance) (or .to_networkx() "
+            "on it for a networkx graph)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        materialised = self.view(directed=True, reduced=min_balance).to_networkx()
         if min_balance > 0.0:
-            to_drop = [
-                (s, d)
-                for s, d, data in graph.edges(data=True)
-                if data["balance"] < min_balance
-            ]
-            graph.remove_edges_from(to_drop)
-        elif min_balance < 0.0:
-            raise InvalidParameter("min_balance must be >= 0")
-        else:
-            self._cached_directed = (self._version, graph)
-        return graph
+            # Historically a fresh graph per call that callers could
+            # mutate freely; don't hand out the view's shared cache.
+            return materialised.copy()
+        return materialised
 
     # -- convenience constructors -------------------------------------------
 

@@ -15,13 +15,12 @@ balance untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Tuple
-
-import networkx as nx
+from typing import Hashable, List, Optional
 
 from ..errors import NodeNotFound, RoutingError
 from .graph import ChannelGraph
 from .htlc import HtlcRouter, HtlcState
+from .views import shortest_path_indices
 
 __all__ = [
     "ChannelImbalance",
@@ -105,17 +104,21 @@ def find_rebalancing_cycle(
     if in_neighbor == out_neighbor:
         raise RoutingError("in and out neighbors must differ")
 
-    reduced = graph.to_directed(min_balance=amount)
+    reduced = graph.view(directed=True, reduced=amount)
     # middle path: out_neighbor -> in_neighbor, not through `node`
-    if node in reduced:
-        reduced = reduced.copy()
-        reduced.remove_node(node)
-    try:
-        middle = nx.shortest_path(reduced, out_neighbor, in_neighbor)
-    except (nx.NetworkXNoPath, nx.NodeNotFound):
+    middle_indices = None
+    if out_neighbor in reduced and in_neighbor in reduced:
+        middle_indices = shortest_path_indices(
+            reduced,
+            reduced.index_of(out_neighbor),
+            reduced.index_of(in_neighbor),
+            blocked=(reduced.index_of(node),) if node in reduced else (),
+        )
+    if middle_indices is None:
         raise RoutingError(
             f"no path {out_neighbor!r} -> {in_neighbor!r} carrying {amount}"
-        ) from None
+        )
+    middle = [reduced.nodes[i] for i in middle_indices]
     cycle = [node] + middle + [node]
     # first hop feasibility (node -> out_neighbor) and last (in -> node)
     first_ok = any(

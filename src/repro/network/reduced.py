@@ -4,6 +4,10 @@ For a transaction of size ``x``, only directed edges whose balance is at
 least ``x`` can forward it. All routing and rate estimation for size-``x``
 transactions therefore operates on the *reduced subgraph*: the directed
 view of the channel graph with under-capacitated edges removed.
+
+The canonical form of ``G'`` is now the immutable CSR snapshot
+:func:`reduced_view`; :func:`reduced_digraph` keeps returning the
+equivalent networkx graph for callers that still want dict-of-dict form.
 """
 
 from __future__ import annotations
@@ -11,19 +15,36 @@ from __future__ import annotations
 from typing import Hashable, List, Tuple
 
 import networkx as nx
+import numpy as np
 
 from .graph import ChannelGraph
+from .views import GraphView, bfs_distances
 
-__all__ = ["reduced_digraph", "feasible_pairs", "infeasible_edges"]
+__all__ = [
+    "reduced_view",
+    "reduced_digraph",
+    "feasible_pairs",
+    "infeasible_edges",
+]
+
+
+def reduced_view(graph: ChannelGraph, amount: float) -> GraphView:
+    """CSR snapshot keeping only directed entries able to forward ``amount``.
+
+    Identical to ``graph.view(directed=True, reduced=amount)``; named entry
+    point so call sites read like the paper.
+    """
+    return graph.view(directed=True, reduced=amount)
 
 
 def reduced_digraph(graph: ChannelGraph, amount: float) -> nx.DiGraph:
-    """Directed view keeping only edges that can forward ``amount``.
-
-    Identical to ``graph.to_directed(min_balance=amount)``; named entry
-    point so call sites read like the paper.
-    """
-    return graph.to_directed(min_balance=amount)
+    """``G'`` materialised as a networkx digraph (legacy dict form)."""
+    materialised = reduced_view(graph, amount).to_networkx()
+    if amount > 0.0:
+        # Historically a fresh graph per call that callers could mutate
+        # freely; don't hand out the view's shared cache.
+        return materialised.copy()
+    return materialised
 
 
 def infeasible_edges(
@@ -33,11 +54,13 @@ def infeasible_edges(
 
     Returns triples ``(src, dst, balance)`` sorted for deterministic output.
     """
-    full = graph.to_directed()
+    full = graph.view(directed=True)
+    rows = full.entry_rows()
+    thin = np.nonzero(full.balances < amount)[0]
     out = [
-        (src, dst, data["balance"])
-        for src, dst, data in full.edges(data=True)
-        if data["balance"] < amount
+        (full.nodes[rows[pos]], full.nodes[full.indices[pos]],
+         float(full.balances[pos]))
+        for pos in thin
     ]
     return sorted(out, key=lambda t: (str(t[0]), str(t[1])))
 
@@ -47,11 +70,11 @@ def feasible_pairs(graph: ChannelGraph, amount: float) -> int:
 
     A coarse liquidity metric: counts ``(s, r)`` with ``s != r`` such that a
     directed path of edges with balance >= ``amount`` exists from ``s`` to
-    ``r`` in the reduced subgraph.
+    ``r`` in the reduced subgraph. One vectorised BFS per source.
     """
-    reduced = reduced_digraph(graph, amount)
+    reduced = reduced_view(graph, amount)
     count = 0
-    for source in reduced.nodes:
-        reachable = nx.descendants(reduced, source)
-        count += len(reachable)
+    for source in range(reduced.num_nodes):
+        dist = bfs_distances(reduced, source)
+        count += int(np.count_nonzero(dist > 0))
     return count

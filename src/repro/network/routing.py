@@ -10,15 +10,17 @@ footnote 1 of the paper).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Sequence, Tuple
 
-import networkx as nx
+import numpy as np
 
 from ..errors import RoutingError
 from .channel import Channel
 from .fees import ConstantFee, FeeFunction
 from .graph import ChannelGraph
+from .views import SMALL_GRAPH_NODES, GraphView, bfs_shortest_path_tree
 
 __all__ = ["Route", "PaymentOutcome", "Router"]
 
@@ -91,8 +93,6 @@ class Router:
         self.fee = fee if fee is not None else ConstantFee(0.0)
         self.fee_forwarding = fee_forwarding
         self.path_selection = path_selection
-        import numpy as np
-
         self._rng = np.random.default_rng(seed)
 
     # -- route discovery ------------------------------------------------------
@@ -108,23 +108,110 @@ class Router:
         """
         if sender == receiver:
             raise RoutingError("sender and receiver must differ")
-        reduced = self.graph.to_directed(min_balance=amount)
+        reduced = self.graph.view(directed=True, reduced=amount)
         if sender not in reduced or receiver not in reduced:
             raise RoutingError(f"unknown endpoint in route {sender!r}->{receiver!r}")
-        try:
-            if self.path_selection == "random":
-                candidates = list(nx.all_shortest_paths(reduced, sender, receiver))
-                index = int(self._rng.integers(0, len(candidates)))
-                nodes = candidates[index]
-            else:
-                nodes = nx.shortest_path(reduced, sender, receiver)
-        except nx.NetworkXNoPath:
-            raise RoutingError(
-                f"no path with capacity {amount} from {sender!r} to {receiver!r}"
-            ) from None
+        nodes = self._select_path(reduced, sender, receiver, amount)
         hop_amounts = self._hop_amounts(len(nodes) - 1, amount)
         total_fee = hop_amounts[0] - amount
         return Route(tuple(nodes), amount, total_fee)
+
+    def _select_path(
+        self,
+        reduced: GraphView,
+        sender: Hashable,
+        receiver: Hashable,
+        amount: float,
+    ) -> List[Hashable]:
+        """One shortest path in the reduced view, as node labels.
+
+        ``"first"`` walks the predecessor DAG deterministically (smallest
+        node index); ``"random"`` samples uniformly among *all* shortest
+        paths by walking backward from the receiver and picking each
+        predecessor with probability proportional to its shortest-path
+        count — exactly the equal-split ``m_e(s,r)/m(s,r)`` shares of
+        Eq. 2 without enumerating the (possibly exponential) path set.
+        """
+        s_idx = reduced.index_of(sender)
+        r_idx = reduced.index_of(receiver)
+        if reduced.num_nodes < SMALL_GRAPH_NODES:
+            # Per-payment python BFS beats numpy call overhead on small
+            # graphs (the simulator routes thousands of payments).
+            path_indices = self._select_path_small(reduced, s_idx, r_idx)
+        else:
+            path_indices = self._select_path_csr(reduced, s_idx, r_idx)
+        if path_indices is None:
+            raise RoutingError(
+                f"no path with capacity {amount} from {sender!r} to {receiver!r}"
+            )
+        return [reduced.nodes[i] for i in path_indices]
+
+    def _select_path_small(
+        self, reduced: GraphView, s_idx: int, r_idx: int
+    ) -> Optional[List[int]]:
+        adj = reduced.adjacency_lists()
+        n = reduced.num_nodes
+        dist = [-1] * n
+        sigma = [0.0] * n
+        preds: List[List[int]] = [[] for _ in range(n)]
+        dist[s_idx] = 0
+        sigma[s_idx] = 1.0
+        queue = deque([s_idx])
+        while queue:
+            v = queue.popleft()
+            if v == r_idx:
+                break
+            next_dist = dist[v] + 1
+            for w, _entry in adj[v]:
+                if dist[w] < 0:
+                    dist[w] = next_dist
+                    queue.append(w)
+                if dist[w] == next_dist:
+                    sigma[w] += sigma[v]
+                    preds[w].append(v)
+        if dist[r_idx] < 0:
+            return None
+        path = [r_idx]
+        current = r_idx
+        while current != s_idx:
+            options = preds[current]
+            if self.path_selection == "random" and len(options) > 1:
+                # Backward sigma-weighted walk = uniform over all
+                # shortest paths (the Eq. 2 equal-split shares).
+                total = sum(sigma[v] for v in options)
+                draw = float(self._rng.random()) * total
+                chosen = options[-1]
+                for v in options:
+                    draw -= sigma[v]
+                    if draw <= 0.0:
+                        chosen = v
+                        break
+            else:
+                chosen = options[0]
+            path.append(chosen)
+            current = chosen
+        return path[::-1]
+
+    def _select_path_csr(
+        self, reduced: GraphView, s_idx: int, r_idx: int
+    ) -> Optional[List[int]]:
+        tree = bfs_shortest_path_tree(reduced, s_idx, target=r_idx)
+        if tree.dist[r_idx] < 0:
+            return None
+        rev_indptr, rev_indices, _ = reduced.reverse_adjacency()
+        path_indices = [r_idx]
+        current = r_idx
+        while current != s_idx:
+            preds = rev_indices[rev_indptr[current]:rev_indptr[current + 1]]
+            preds = preds[tree.dist[preds] == tree.dist[current] - 1]
+            if self.path_selection == "random" and preds.size > 1:
+                sigma = tree.sigma[preds]
+                chosen = int(self._rng.choice(preds, p=sigma / sigma.sum()))
+            else:
+                chosen = int(preds[0])
+            path_indices.append(chosen)
+            current = chosen
+        return path_indices[::-1]
 
     def _hop_amounts(self, hops: int, amount: float) -> List[float]:
         """Amount entering each hop, sender-side first.

@@ -33,6 +33,7 @@ from ..core.utility import JoiningUserModel
 from ..equilibrium import topologies  # noqa: F401  (star, path, circle, ...)
 from ..errors import ScenarioError
 from ..network.graph import ChannelGraph
+from ..network.views import GraphView
 from ..params import ModelParameters
 from ..simulation.engine import SimulationEngine
 from ..simulation.metrics import SimulationMetrics
@@ -96,6 +97,20 @@ class ScenarioResult:
     graph: Optional[ChannelGraph] = None
     optimisation: Optional[OptimisationResult] = None
     metrics: Optional[SimulationMetrics] = None
+
+    def view(self, directed: bool = True, reduced: float = 0.0) -> GraphView:
+        """An immutable CSR snapshot of the (post-run) result graph.
+
+        Downstream analysis can consume the array-form state directly —
+        ``indptr``/``indices`` adjacency, per-entry balances/capacities —
+        without materialising a networkx graph.
+
+        Raises:
+            ScenarioError: when the scenario produced no graph.
+        """
+        if self.graph is None:
+            raise ScenarioError("scenario produced no graph to view")
+        return self.graph.view(directed=directed, reduced=reduced)
 
     def summary(self) -> str:
         """One-line human-readable description of the headline numbers."""

@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Mapping, Optional, Tuple
 
-import networkx as nx
-
 from ..network.betweenness import (
     BetweennessResult,
     pair_weighted_betweenness,
@@ -65,11 +63,11 @@ def traffic_profile(
         exact: use literal shortest-path enumeration instead of the
             weighted-Brandes pass (slow; for cross-checking).
     """
-    digraph = graph.to_directed(min_balance=amount)
+    view = graph.view(directed=True, reduced=amount)
     weight = _pair_weight(distribution, per_sender_rates)
     if exact:
-        return pair_weighted_betweenness_exact(digraph, weight)
-    return pair_weighted_betweenness(digraph, weight)
+        return pair_weighted_betweenness_exact(view, weight)
+    return pair_weighted_betweenness(view, weight)
 
 
 def edge_probabilities(

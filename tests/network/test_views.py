@@ -1,0 +1,483 @@
+"""Parity and caching tests for the CSR view layer.
+
+Randomised graphs: everything the CSR snapshots compute — pair-weighted
+betweenness, shortest-path counts, hop distances, reduced-subgraph
+membership, routing — must match the legacy networkx implementations
+within 1e-9.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameter, ScenarioError
+from repro.network.betweenness import (
+    _bfs_shortest_paths,
+    betweenness_arrays,
+    pair_weighted_betweenness,
+)
+from repro.network.graph import ChannelGraph
+from repro.network.reduced import feasible_pairs, infeasible_edges, reduced_view
+from repro.network.routing import Router
+from repro.network.views import (
+    GraphView,
+    bfs_distances,
+    bfs_shortest_path_tree,
+    shortest_path_indices,
+)
+from repro.core.fees_paid import single_source_hops
+from repro.snapshots import barabasi_albert_snapshot, erdos_renyi_snapshot
+from repro.transactions.zipf import ModifiedZipf
+
+TOL = 1e-9
+
+
+def legacy_digraph(graph: ChannelGraph, min_balance: float = 0.0):
+    """The networkx materialisation without tripping the deprecation."""
+    return graph.view(directed=True, reduced=min_balance).to_networkx()
+
+
+def random_graphs():
+    """A spread of randomised topologies (sizes straddle the small-graph
+    fast-path threshold)."""
+    graphs = []
+    for seed in (1, 7, 42):
+        graphs.append(barabasi_albert_snapshot(30, seed=seed))
+        graphs.append(erdos_renyi_snapshot(25, p=0.15, seed=seed))
+    graphs.append(barabasi_albert_snapshot(170, seed=3))  # vectorised path
+    return graphs
+
+
+class TestViewStructure:
+    def test_nodes_and_entries_match_digraph(self):
+        for graph in random_graphs():
+            view = graph.view(directed=True)
+            digraph = legacy_digraph(graph)
+            assert set(view.nodes) == set(digraph.nodes)
+            rows = view.entry_rows()
+            edges = {
+                (view.nodes[rows[k]], view.nodes[view.indices[k]])
+                for k in range(view.num_entries)
+            }
+            assert edges == set(digraph.edges)
+
+    def test_balances_match_digraph(self):
+        graph = barabasi_albert_snapshot(40, seed=9)
+        view = graph.view(directed=True)
+        digraph = legacy_digraph(graph)
+        rows = view.entry_rows()
+        for k in range(view.num_entries):
+            src = view.nodes[rows[k]]
+            dst = view.nodes[view.indices[k]]
+            assert view.balances[k] == pytest.approx(
+                digraph[src][dst]["balance"], abs=TOL
+            )
+
+    def test_parallel_channels_aggregate(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 3.0, 1.0)
+        graph.add_channel("a", "b", 2.0, 5.0)
+        view = graph.view(directed=True)
+        entry = view.entry_between(view.index_of("a"), view.index_of("b"))
+        assert view.balances[entry] == pytest.approx(5.0)
+        assert view.capacities[entry] == pytest.approx(11.0)
+        assert set(view.channels_for_entry(entry)) == {
+            c.channel_id for c in graph.channels
+        }
+
+    def test_arrays_immutable(self):
+        view = barabasi_albert_snapshot(10, seed=0).view(directed=True)
+        with pytest.raises(ValueError):
+            view.balances[0] = 99.0
+        with pytest.raises(ValueError):
+            view.indices[0] = 0
+
+    def test_undirected_cannot_be_reduced(self):
+        graph = barabasi_albert_snapshot(10, seed=0)
+        with pytest.raises(InvalidParameter):
+            graph.view(directed=False, reduced=1.0)
+
+    def test_negative_reduction_rejected(self):
+        graph = barabasi_albert_snapshot(10, seed=0)
+        with pytest.raises(InvalidParameter):
+            graph.view(directed=True, reduced=-1.0)
+
+    def test_fee_params_surface_in_arrays(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 1.0, 1.0, fee_base=0.5, fee_rate=0.01)
+        view = graph.view(directed=True)
+        assert view.fee_base[0] == pytest.approx(0.5)
+        assert view.fee_rate[0] == pytest.approx(0.01)
+
+    def test_parallel_fee_policies_keep_one_real_policy(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 1.0, 1.0, fee_base=1.0, fee_rate=0.0)
+        graph.add_channel("a", "b", 1.0, 1.0, fee_base=0.0, fee_rate=2.0)
+        view = graph.view(directed=True)
+        # cheapest at unit amount wins, as a whole (base, rate) pair —
+        # never a synthesized component-wise mix like (0, 0).
+        assert (float(view.fee_base[0]), float(view.fee_rate[0])) == (1.0, 0.0)
+
+
+class TestBetweennessParity:
+    def test_uniform_weights(self):
+        for graph in random_graphs():
+            view = graph.view(directed=True)
+            legacy = pair_weighted_betweenness(legacy_digraph(graph))
+            fast = pair_weighted_betweenness(view)
+            for node in legacy.node:
+                assert fast.node[node] == pytest.approx(
+                    legacy.node[node], abs=TOL
+                )
+            for edge in set(legacy.edge) | set(fast.edge):
+                assert fast.edge.get(edge, 0.0) == pytest.approx(
+                    legacy.edge.get(edge, 0.0), abs=TOL
+                )
+
+    def test_zipf_weights(self):
+        for graph in random_graphs()[:4]:
+            distribution = ModifiedZipf(graph, s=1.0)
+
+            def weight(s, r):
+                return distribution.probability(s, r)
+
+            legacy = pair_weighted_betweenness(legacy_digraph(graph), weight)
+            fast = pair_weighted_betweenness(graph.view(directed=True), weight)
+            for node in legacy.node:
+                assert fast.node[node] == pytest.approx(
+                    legacy.node[node], abs=TOL
+                )
+            for edge in set(legacy.edge) | set(fast.edge):
+                assert fast.edge.get(edge, 0.0) == pytest.approx(
+                    legacy.edge.get(edge, 0.0), abs=TOL
+                )
+
+    def test_restricted_sources(self):
+        graph = barabasi_albert_snapshot(30, seed=5)
+        sources = list(graph.nodes)[:7]
+        legacy = pair_weighted_betweenness(
+            legacy_digraph(graph), sources=sources
+        )
+        fast = pair_weighted_betweenness(
+            graph.view(directed=True), sources=sources
+        )
+        for node in legacy.node:
+            assert fast.node[node] == pytest.approx(legacy.node[node], abs=TOL)
+
+    def test_reduced_subgraph_betweenness(self):
+        graph = barabasi_albert_snapshot(30, seed=11)
+        amount = 2.0
+        legacy = pair_weighted_betweenness(legacy_digraph(graph, amount))
+        fast = pair_weighted_betweenness(
+            graph.view(directed=True, reduced=amount)
+        )
+        for node in legacy.node:
+            assert fast.node[node] == pytest.approx(legacy.node[node], abs=TOL)
+
+    def test_arrays_form(self):
+        graph = barabasi_albert_snapshot(20, seed=2)
+        view = graph.view(directed=True)
+        arrays = betweenness_arrays(view)
+        result = arrays.to_result()
+        assert arrays.node_values.shape == (view.num_nodes,)
+        assert arrays.edge_values.shape == (view.num_entries,)
+        assert result.node_value(view.nodes[0]) == pytest.approx(
+            float(arrays.node_values[0]), abs=TOL
+        )
+
+
+class TestShortestPathCounts:
+    def test_sigma_matches_legacy_bfs(self):
+        for graph in random_graphs():
+            view = graph.view(directed=True)
+            digraph = legacy_digraph(graph)
+            for source in list(view.nodes)[:5]:
+                _, _, legacy_sigma, legacy_dist = _bfs_shortest_paths(
+                    digraph, source
+                )
+                tree = bfs_shortest_path_tree(view, view.index_of(source))
+                for i, node in enumerate(view.nodes):
+                    if node in legacy_dist:
+                        assert tree.dist[i] == legacy_dist[node]
+                        assert tree.sigma[i] == pytest.approx(
+                            legacy_sigma[node], abs=TOL
+                        )
+                    else:
+                        assert tree.dist[i] == -1
+
+    def test_hop_distances_match(self):
+        graph = barabasi_albert_snapshot(35, seed=13)
+        view = graph.view(directed=True)
+        digraph = legacy_digraph(graph)
+        for source in list(view.nodes)[:5]:
+            legacy = single_source_hops(digraph, source)
+            fast = single_source_hops(view, source)
+            assert fast == legacy
+
+    def test_blocked_nodes_excluded(self):
+        graph = ChannelGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        view = graph.view(directed=True)
+        dist = bfs_distances(
+            view, view.index_of("a"), blocked=[view.index_of("b")]
+        )
+        assert dist[view.index_of("b")] == -1
+        assert dist[view.index_of("c")] == 1
+
+    def test_shortest_path_indices_roundtrip(self):
+        graph = barabasi_albert_snapshot(25, seed=4)
+        view = graph.view(directed=True)
+        digraph = legacy_digraph(graph)
+        import networkx as nx
+
+        for target in list(view.nodes)[1:6]:
+            path = shortest_path_indices(
+                view, view.index_of(view.nodes[0]), view.index_of(target)
+            )
+            expected = nx.shortest_path_length(
+                digraph, view.nodes[0], target
+            )
+            assert path is not None
+            assert len(path) - 1 == expected
+
+
+class TestReducedParity:
+    def test_membership_matches_legacy(self):
+        for graph in random_graphs()[:4]:
+            for amount in (0.5, 2.0, 8.0):
+                view = reduced_view(graph, amount)
+                digraph = legacy_digraph(graph, amount)
+                rows = view.entry_rows()
+                edges = {
+                    (view.nodes[rows[k]], view.nodes[view.indices[k]])
+                    for k in range(view.num_entries)
+                }
+                assert edges == set(digraph.edges)
+
+    def test_feasible_pairs_matches_descendants(self):
+        import networkx as nx
+
+        graph = barabasi_albert_snapshot(25, seed=21)
+        for amount in (1.0, 4.0):
+            digraph = legacy_digraph(graph, amount)
+            expected = sum(
+                len(nx.descendants(digraph, s)) for s in digraph.nodes
+            )
+            assert feasible_pairs(graph, amount) == expected
+
+    def test_infeasible_edges_sorted_and_complete(self):
+        graph = barabasi_albert_snapshot(20, seed=6)
+        amount = 3.0
+        digraph = legacy_digraph(graph)
+        expected = sorted(
+            (
+                (s, d, data["balance"])
+                for s, d, data in digraph.edges(data=True)
+                if data["balance"] < amount
+            ),
+            key=lambda t: (str(t[0]), str(t[1])),
+        )
+        got = infeasible_edges(graph, amount)
+        assert [(s, d) for s, d, _ in got] == [(s, d) for s, d, _ in expected]
+        for (_, _, b1), (_, _, b2) in zip(got, expected):
+            assert b1 == pytest.approx(b2, abs=TOL)
+
+
+class TestRoutingOnViews:
+    def test_first_route_is_shortest_and_feasible(self):
+        import networkx as nx
+
+        graph = barabasi_albert_snapshot(30, seed=17, capacity_mu=3.0)
+        router = Router(graph)
+        digraph = legacy_digraph(graph, 1.0)
+        nodes = list(graph.nodes)
+        for sender, receiver in zip(nodes[:6], nodes[6:12]):
+            try:
+                expected = nx.shortest_path_length(digraph, sender, receiver)
+            except nx.NetworkXNoPath:
+                continue
+            route = router.find_route(sender, receiver, 1.0)
+            assert route.hops == expected
+            for src, dst in zip(route.nodes, route.nodes[1:]):
+                assert sum(
+                    c.balance(src) for c in graph.channels_between(src, dst)
+                ) >= 1.0
+
+    def test_random_routes_are_shortest(self):
+        import networkx as nx
+
+        graph = barabasi_albert_snapshot(30, seed=19, capacity_mu=3.0)
+        router = Router(graph, path_selection="random", seed=3)
+        digraph = legacy_digraph(graph, 1.0)
+        nodes = list(graph.nodes)
+        sender, receiver = nodes[0], nodes[-1]
+        expected = nx.shortest_path_length(digraph, sender, receiver)
+        for _ in range(20):
+            assert router.find_route(sender, receiver, 1.0).hops == expected
+
+    def test_random_selection_covers_all_shortest_paths(self):
+        # diamond: two equal shortest paths a->b->d / a->c->d
+        graph = ChannelGraph.from_edges(
+            [("a", "b"), ("b", "d"), ("a", "c"), ("c", "d")], balance=10.0
+        )
+        router = Router(graph, path_selection="random", seed=0)
+        seen = set()
+        for _ in range(60):
+            seen.add(router.find_route("a", "d", 1.0).nodes)
+        assert seen == {("a", "b", "d"), ("a", "c", "d")}
+
+    def test_csr_branch_routes_large_path_graph(self):
+        """>= SMALL_GRAPH_NODES nodes takes the vectorised CSR branch;
+        the route must still run sender -> receiver."""
+        from repro.network.views import SMALL_GRAPH_NODES
+
+        n = SMALL_GRAPH_NODES + 10
+        edges = [(f"v{i}", f"v{i+1}") for i in range(n - 1)]
+        graph = ChannelGraph.from_edges(edges, balance=10.0)
+        for selection in ("first", "random"):
+            router = Router(graph, path_selection=selection, seed=1)
+            route = router.find_route("v0", "v5", 1.0)
+            assert route.nodes == tuple(f"v{i}" for i in range(6))
+        outcome = Router(graph).execute("v0", "v5", 2.0)
+        assert outcome.success
+        first_hop = graph.channels_between("v0", "v1")[0]
+        assert first_hop.balance("v0") == pytest.approx(8.0)
+        assert first_hop.balance("v1") == pytest.approx(12.0)
+
+    def test_csr_branch_matches_small_branch(self):
+        """The two dispatch branches must agree on the same graph."""
+        import networkx as nx
+        from repro.network import views as views_module
+
+        graph = barabasi_albert_snapshot(
+            views_module.SMALL_GRAPH_NODES + 20, seed=29, capacity_mu=3.0
+        )
+        digraph = legacy_digraph(graph, 1.0)
+        nodes = list(graph.nodes)
+        csr_router = Router(graph)
+        for sender, receiver in zip(nodes[:8], nodes[8:16]):
+            try:
+                expected = nx.shortest_path_length(digraph, sender, receiver)
+            except nx.NetworkXNoPath:
+                continue
+            route = csr_router.find_route(sender, receiver, 1.0)
+            assert route.nodes[0] == sender
+            assert route.nodes[-1] == receiver
+            assert route.hops == expected
+
+
+class TestViewCaching:
+    def test_view_reused_between_reads(self):
+        graph = barabasi_albert_snapshot(10, seed=1)
+        assert graph.view(directed=True) is graph.view(directed=True)
+        assert graph.view(directed=False) is graph.view(directed=False)
+        assert graph.view(directed=True, reduced=2.0) is graph.view(
+            directed=True, reduced=2.0
+        )
+
+    def test_structural_mutation_invalidates(self):
+        graph = barabasi_albert_snapshot(10, seed=1)
+        before = graph.view(directed=True)
+        graph.add_channel("n0", "n5", 1.0, 1.0)
+        assert graph.view(directed=True) is not before
+
+    def test_balance_mutation_invalidates(self):
+        """Regression: balance updates during simulation must not serve
+        stale capacity arrays to the router."""
+        graph = ChannelGraph()
+        channel = graph.add_channel("a", "b", 5.0, 0.0)
+        before = graph.view(directed=True, reduced=4.0)
+        assert before.num_entries == 1
+        channel.send("a", 3.0)  # a-side drops to 2 < 4
+        after = graph.view(directed=True, reduced=4.0)
+        assert after is not before
+        assert after.num_entries == 0
+
+    def test_balance_mutation_refreshes_router(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 5.0, 0.0)
+        router = Router(graph)
+        assert router.find_route("a", "b", 4.0).nodes == ("a", "b")
+        router.execute("a", "b", 3.0)
+        from repro.errors import RoutingError
+
+        with pytest.raises(RoutingError):
+            router.find_route("a", "b", 4.0)
+
+    def test_removed_channel_stops_invalidation(self):
+        graph = ChannelGraph()
+        channel = graph.add_channel("a", "b", 5.0, 5.0)
+        graph.remove_channel(channel.channel_id)
+        version = graph.version
+        channel.send("a", 1.0)  # detached channel: no bump
+        assert graph.version == version
+
+
+class TestDeprecatedWrappers:
+    def test_to_directed_warns_and_matches_view(self):
+        graph = barabasi_albert_snapshot(10, seed=2)
+        with pytest.warns(DeprecationWarning):
+            digraph = graph.to_directed()
+        assert set(digraph.edges) == set(
+            graph.view(directed=True).to_networkx().edges
+        )
+
+    def test_to_undirected_warns(self):
+        graph = barabasi_albert_snapshot(10, seed=2)
+        with pytest.warns(DeprecationWarning):
+            undirected = graph.to_undirected()
+        assert undirected.number_of_nodes() == len(graph)
+
+
+class TestScenarioResultView:
+    def test_result_exposes_view(self):
+        from repro import Scenario, ScenarioRunner, TopologySpec
+
+        result = ScenarioRunner().run(
+            Scenario(topology=TopologySpec("ba", {"n": 12}), seed=3)
+        )
+        view = result.view()
+        assert isinstance(view, GraphView)
+        assert view.num_nodes == 12
+        assert result.view(reduced=1.0).num_entries <= view.num_entries
+
+    def test_no_graph_raises(self):
+        from repro.scenarios.runner import ScenarioResult
+        from repro import Scenario, TopologySpec
+
+        result = ScenarioResult(
+            scenario=Scenario(topology=TopologySpec("ba", {"n": 5}))
+        )
+        with pytest.raises(ScenarioError):
+            result.view()
+
+
+class TestModelBackendParity:
+    def test_greedy_identical_across_backends(self):
+        from repro.core.utility import JoiningUserModel
+        from repro.core.algorithms.greedy import greedy_fixed_funds
+        from repro.params import ModelParameters
+
+        graph = barabasi_albert_snapshot(20, seed=23)
+        params = ModelParameters(total_tx_rate=50.0, user_tx_rate=2.0)
+        results = {}
+        for backend in ("views", "networkx"):
+            model = JoiningUserModel(graph, "joiner", params, backend=backend)
+            results[backend] = greedy_fixed_funds(model, budget=4.0, lock=1.0)
+        assert results["views"].objective_value == pytest.approx(
+            results["networkx"].objective_value, abs=TOL
+        )
+        assert (
+            results["views"].strategy.actions
+            == results["networkx"].strategy.actions
+        )
+
+    def test_invalid_backend_rejected(self):
+        from repro.core.utility import JoiningUserModel
+        from repro.params import ModelParameters
+
+        graph = barabasi_albert_snapshot(5, seed=0)
+        with pytest.raises(InvalidParameter):
+            JoiningUserModel(
+                graph, "u", ModelParameters(), backend="pandas"
+            )
