@@ -19,7 +19,10 @@ The library models the incentive structure behind payment channel network
 * :mod:`repro.analysis` — sweep and table helpers for the experiments;
 * :mod:`repro.scenarios` — the declarative scenario layer: JSON-round-trip
   specs, plugin registries, and the serial/parallel scenario runner that
-  every driver (CLI, examples, sweeps) goes through.
+  every driver (CLI, examples, sweeps) goes through;
+* :mod:`repro.attacks` — the adversarial traffic engine: channel jamming,
+  liquidity griefing, and baseline-vs-attacked damage reports over the
+  same discrete-event substrate.
 
 Quickstart::
 
@@ -49,6 +52,7 @@ from .errors import (
     ChannelNotFound,
     DuplicateChannel,
     GraphError,
+    HtlcError,
     InsufficientBalance,
     InvalidParameter,
     NodeNotFound,
@@ -82,24 +86,31 @@ from .equilibrium import NetworkGameModel, check_nash
 from .simulation import SimulationEngine
 from .scenarios import (
     AlgorithmSpec,
+    AttackSpec,
     FeeSpec,
     Scenario,
     SimulationSpec,
     TopologySpec,
     WorkloadSpec,
     register_algorithm,
+    register_attack,
     register_fee,
     register_topology,
     register_workload,
 )
 from .scenarios.runner import ScenarioResult, ScenarioRunner
+from .attacks import AttackReport, AttackRunner, AttackStrategy
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Action",
     "ActionSpace",
     "AlgorithmSpec",
+    "AttackReport",
+    "AttackRunner",
+    "AttackSpec",
+    "AttackStrategy",
     "BetweennessArrays",
     "BudgetExceeded",
     "Channel",
@@ -110,6 +121,7 @@ __all__ = [
     "FeeSpec",
     "GraphError",
     "GraphView",
+    "HtlcError",
     "betweenness_arrays",
     "InsufficientBalance",
     "InvalidParameter",
@@ -138,6 +150,7 @@ __all__ = [
     "exhaustive_discrete",
     "greedy_fixed_funds",
     "register_algorithm",
+    "register_attack",
     "register_fee",
     "register_topology",
     "register_workload",

@@ -1,5 +1,6 @@
 """Sweep, estimation, and reporting helpers for experiments."""
 
+from .resilience import equilibrium_topology_docs, resilience_table
 from .estimation import (
     RateEstimate,
     ZipfEstimate,
@@ -16,9 +17,11 @@ __all__ = [
     "ZipfEstimate",
     "estimate_average_fee",
     "estimate_sender_rates",
+    "equilibrium_topology_docs",
     "estimate_total_rate",
     "estimate_zipf_s",
     "format_table",
+    "resilience_table",
     "format_value",
     "grid_points",
     "run_sweep",

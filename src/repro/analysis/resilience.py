@@ -1,0 +1,175 @@
+"""Attack resilience of the paper's Section IV equilibrium topologies.
+
+The star, path, and circle are all Nash equilibria of the creation game
+(Thms 8, 10, 11) under suitable parameters — but they are *not* equally
+robust to adversarial traffic. A circle offers a disjoint second route
+around any jammed node; a path has none; a star concentrates all transit
+revenue in one jammable hub. :func:`resilience_table` makes that concrete:
+it sweeps identical attacker budgets over size-matched star / path /
+circle networks (same honest workload process, same fee function, same
+seed) and tabulates how much victim revenue each equilibrium loses.
+
+The sweep rides :meth:`ScenarioRunner.run_sweep
+<repro.scenarios.runner.ScenarioRunner.run_sweep>`, so
+``executor="process"`` parallelises the (topology x budget) grid across
+worker processes with bit-identical rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..scenarios.specs import (
+    AttackSpec,
+    FeeSpec,
+    Scenario,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "default_attack_scenario",
+    "equilibrium_topology_docs",
+    "resilience_table",
+]
+
+#: Columns the resilience table keeps, in display order.
+TABLE_COLUMNS = (
+    "topology",
+    "attack_budget",
+    "victim",
+    "budget_spent",
+    "baseline_victim_revenue",
+    "attacked_victim_revenue",
+    "victim_revenue_delta",
+    "victim_revenue_loss_pct",
+    "baseline_success_rate",
+    "attacked_success_rate",
+    "locked_liquidity_integral",
+)
+
+
+def equilibrium_topology_docs(
+    size: int, balance: float = 10.0
+) -> List[Dict[str, Any]]:
+    """Size-matched TopologySpec documents for star / path / circle.
+
+    ``size`` counts *nodes* in every topology, so the star gets
+    ``size - 1`` leaves — the sweeps compare networks of equal population,
+    not equal parameter value.
+    """
+    if size < 4:
+        raise ValueError(f"size must be >= 4 for all three topologies, got {size}")
+    return [
+        {"kind": "star", "params": {"leaves": size - 1, "balance": balance}},
+        {"kind": "path", "params": {"n": size, "balance": balance}},
+        {"kind": "circle", "params": {"n": size, "balance": balance}},
+    ]
+
+
+def default_attack_scenario(
+    topology: TopologySpec,
+    strategy: str,
+    attack_params: Dict[str, Any],
+    horizon: float = 40.0,
+    seed: int = 7,
+    zipf_s: float = 1.0,
+    name: str = "attack",
+) -> Scenario:
+    """The canonical attack scenario: one honest workload for every driver.
+
+    The CLI's ``attack`` subcommand, the resilience table, and the attack
+    throughput benchmark all build their scenario here, so a
+    single-topology report stays comparable to its row in a ``--compare``
+    table (same Poisson/Zipf workload, same sub-coin sizes, same linear
+    fee, same HTLC simulation settings).
+    """
+    return Scenario(
+        topology=topology,
+        workload=WorkloadSpec(
+            "poisson",
+            {
+                "rate": 1.0,
+                "zipf_s": zipf_s,
+                "sizes": {
+                    "kind": "truncated-exponential", "scale": 0.5, "high": 2.0,
+                },
+            },
+        ),
+        fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+        simulation=SimulationSpec(
+            horizon=horizon, payment_mode="htlc", htlc_hold_mean=0.2,
+        ),
+        attack=AttackSpec(strategy, attack_params),
+        name=name,
+        seed=seed,
+    )
+
+
+def resilience_table(
+    budgets: Sequence[float],
+    strategy: str = "slow-jamming",
+    size: int = 9,
+    balance: float = 10.0,
+    horizon: float = 40.0,
+    seed: int = 7,
+    zipf_s: float = 1.0,
+    attack_params: Optional[Dict[str, Any]] = None,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Sweep attacker budgets across the three NE topologies.
+
+    Args:
+        budgets: attacker capital endowments to sweep.
+        strategy: attack registry kind (``"slow-jamming"``, ...).
+        size: number of nodes in every topology.
+        balance: per-side channel balance of the built topologies.
+        horizon: simulated time span per run.
+        seed: scenario seed. The grid pins it on every point (overriding
+            ``run_sweep``'s per-point derivation), so all topologies and
+            budgets see the same honest-workload RNG stream — the
+            controlled comparison this table exists for.
+        zipf_s: receiver-skew of the honest workload.
+        attack_params: extra ``AttackSpec`` params merged over the defaults
+            (e.g. ``{"slot_cap": 30}``).
+        executor: ``"serial"`` or ``"process"`` (forwarded to
+            :meth:`ScenarioRunner.run_sweep`).
+        max_workers: process-pool size (``"process"`` only).
+
+    Returns:
+        One row per (topology, budget) grid point, in grid order, reduced
+        to :data:`TABLE_COLUMNS`.
+    """
+    # Deferred: repro.scenarios.runner imports the provider modules.
+    from ..scenarios.runner import ScenarioRunner
+
+    params: Dict[str, Any] = dict(attack_params or {})
+    params.setdefault("budget", float(budgets[0]) if budgets else 0.0)
+    base = default_attack_scenario(
+        TopologySpec("star", {"leaves": size - 1, "balance": balance}),
+        strategy,
+        params,
+        horizon=horizon,
+        seed=seed,
+        zipf_s=zipf_s,
+        name=f"resilience-{strategy}",
+    )
+    grid = {
+        "topology": equilibrium_topology_docs(size, balance=balance),
+        "attack.params.budget": [float(b) for b in budgets],
+        # a swept "seed" wins over run_sweep's per-point derivation:
+        # every (topology, budget) point must see the same RNG stream
+        "seed": [seed],
+    }
+    rows = ScenarioRunner().run_sweep(
+        base, grid, executor=executor, max_workers=max_workers
+    )
+    table: List[Dict[str, Any]] = []
+    for row in rows:
+        entry = {"topology": row["topology"]["kind"]}
+        for column in TABLE_COLUMNS[1:]:
+            entry[column] = row[column]
+        table.append(entry)
+    return table

@@ -1,0 +1,60 @@
+"""Adversarial traffic engine: jamming, depletion, griefing.
+
+The paper's creation game assumes honest HTLC routing (footnote 1); this
+subsystem asks what happens when routing is *not* honest. An
+:class:`AttackStrategy` injects adversarial HTLCs into the discrete-event
+simulator's shared queue — contending with the honest workload for channel
+balances and ``max_accepted_htlcs`` slots — and the
+:class:`AttackRunner` quantifies the damage against an honest baseline
+that saw the identical payment trace::
+
+    from repro.scenarios import (
+        AttackSpec, FeeSpec, Scenario, ScenarioRunner, SimulationSpec,
+        TopologySpec,
+    )
+
+    scenario = Scenario(
+        topology=TopologySpec("star", {"leaves": 8, "balance": 10.0}),
+        fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+        simulation=SimulationSpec(horizon=40.0, payment_mode="htlc"),
+        attack=AttackSpec("slow-jamming", {"budget": 1000.0}),
+        seed=7,
+    )
+    result = ScenarioRunner().run(scenario)
+    print(result.attack.summary())
+
+Builtin strategies (registered under the ``attack`` plugin registry):
+``"slow-jamming"``, ``"liquidity-depletion"``, ``"fee-griefing"`` — see
+:mod:`repro.attacks.strategies`. New strategies plug in via
+:func:`repro.scenarios.registry.register_attack`.
+
+:mod:`repro.analysis.resilience` builds on this to compare how much
+revenue an identical attacker budget destroys on each of the paper's
+Section IV equilibrium topologies (star / path / circle).
+"""
+
+from .context import AttackContext, AttackResolveEvent, AttackTickEvent
+from .report import AttackReport
+from .runner import AttackOutcome, AttackRunner, select_victim
+from .strategies import (
+    AttackStrategy,
+    CircuitAttack,
+    FeeGriefing,
+    LiquidityDepletion,
+    SlowJamming,
+)
+
+__all__ = [
+    "AttackContext",
+    "AttackOutcome",
+    "AttackReport",
+    "AttackResolveEvent",
+    "AttackRunner",
+    "AttackStrategy",
+    "AttackTickEvent",
+    "CircuitAttack",
+    "FeeGriefing",
+    "LiquidityDepletion",
+    "SlowJamming",
+    "select_victim",
+]

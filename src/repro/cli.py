@@ -20,7 +20,11 @@ Subcommands:
   (topology + workload + fee + algorithm + simulation) end to end;
 * ``sweep`` — evaluate a scenario JSON over a grid of dotted-path
   overrides (``--set topology.params.n=10,20,50``), serially or across
-  worker processes (``--executor process``).
+  worker processes (``--executor process``);
+* ``attack`` — run the adversarial traffic engine against a topology
+  (jamming / depletion / griefing) and report the damage vs. an honest
+  baseline; ``--compare`` sweeps the budget over the star / path / circle
+  equilibria and prints the resilience table.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from .equilibrium import (
 )
 from .scenarios import (
     AlgorithmSpec,
+    AttackSpec,
     FeeSpec,
     Scenario,
     ScenarioRunner,
@@ -274,6 +279,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+_ATTACK_TOPOLOGY_SIZE_PARAM = {
+    "star": "leaves", "path": "n", "circle": "n", "complete": "n", "ba": "n",
+}
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .analysis.resilience import (
+        TABLE_COLUMNS,
+        default_attack_scenario,
+        resilience_table,
+    )
+
+    attack_params: Dict[str, Any] = {"budget": args.budget}
+    if args.victim is not None:
+        attack_params["victim"] = args.victim
+    if args.slot_cap is not None:
+        attack_params["slot_cap"] = args.slot_cap
+    if args.amount is not None:
+        attack_params["amount"] = args.amount
+    if args.hold_time is not None:
+        attack_params["hold_time"] = args.hold_time
+
+    if args.compare:
+        budgets = args.budgets if args.budgets else [args.budget]
+        rows = resilience_table(
+            budgets,
+            strategy=args.strategy,
+            size=args.size,
+            balance=args.balance,
+            horizon=args.horizon,
+            seed=args.seed,
+            zipf_s=args.zipf_s,
+            attack_params={
+                k: v for k, v in attack_params.items() if k != "budget"
+            },
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+        print(format_table(
+            rows,
+            columns=list(TABLE_COLUMNS),
+            title=f"NE resilience under {args.strategy}",
+        ))
+        return 0
+
+    size_param = _ATTACK_TOPOLOGY_SIZE_PARAM[args.topology]
+    size = args.size - 1 if args.topology == "star" else args.size
+    scenario = default_attack_scenario(
+        TopologySpec(
+            args.topology, {size_param: size, "balance": args.balance}
+            if args.topology != "ba" else {"n": args.size},
+        ),
+        args.strategy,
+        attack_params,
+        horizon=args.horizon,
+        seed=args.seed,
+        zipf_s=args.zipf_s,
+    )
+    result = ScenarioRunner().run(scenario)
+    report = result.attack
+    print(report.summary())
+    print(format_table([report.to_row()], title="attack report"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lightning-creation-games",
@@ -372,6 +442,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log each grid point to stderr"
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_atk = sub.add_parser(
+        "attack",
+        help="adversarial traffic: jam / deplete / grief a topology and "
+        "report the damage vs an honest baseline",
+    )
+    p_atk.add_argument(
+        "--topology",
+        choices=sorted(_ATTACK_TOPOLOGY_SIZE_PARAM),
+        default="star",
+    )
+    p_atk.add_argument(
+        "--size", type=int, default=9, help="number of nodes (all topologies)"
+    )
+    p_atk.add_argument(
+        "--balance", type=float, default=10.0,
+        help="per-side channel balance of the built topology "
+        "(ignored for --topology ba, which draws its own capacities)",
+    )
+    p_atk.add_argument(
+        "--strategy",
+        choices=["slow-jamming", "liquidity-depletion", "fee-griefing"],
+        default="slow-jamming",
+    )
+    p_atk.add_argument(
+        "--budget", type=float, default=1000.0,
+        help="attacker capital endowment",
+    )
+    p_atk.add_argument(
+        "--victim", default=None,
+        help="node id to target (default: highest-betweenness node)",
+    )
+    p_atk.add_argument(
+        "--slot-cap", dest="slot_cap", type=int, default=None,
+        help="max_accepted_htlcs applied to every pre-attack channel "
+        "(both baseline and attacked run)",
+    )
+    p_atk.add_argument(
+        "--amount", type=float, default=None, help="per-HTLC attack amount"
+    )
+    p_atk.add_argument(
+        "--hold-time", dest="hold_time", type=float, default=None,
+        help="how long each adversarial HTLC is held",
+    )
+    p_atk.add_argument("--horizon", type=float, default=40.0)
+    p_atk.add_argument("--seed", type=int, default=7)
+    p_atk.add_argument("--zipf-s", dest="zipf_s", type=float, default=1.0)
+    p_atk.add_argument(
+        "--compare", action="store_true",
+        help="sweep the budget over star/path/circle equilibria and print "
+        "the resilience table instead of a single report",
+    )
+    p_atk.add_argument(
+        "--budgets", type=float, nargs="+", default=None,
+        help="budgets for --compare (default: just --budget)",
+    )
+    p_atk.add_argument(
+        "--executor", choices=["serial", "process"], default="serial",
+        help="grid executor for --compare",
+    )
+    p_atk.add_argument(
+        "--workers", type=int, default=None, help="process-pool size"
+    )
+    p_atk.set_defaults(func=_cmd_attack)
     return parser
 
 

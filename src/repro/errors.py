@@ -53,6 +53,15 @@ class RoutingError(ReproError):
     """No feasible route exists for a payment."""
 
 
+class HtlcError(ReproError):
+    """An HTLC operation violated the protocol state machine.
+
+    Also raised by :meth:`Channel.open_htlc
+    <repro.network.channel.Channel.open_htlc>` when a channel direction has
+    no free HTLC slot left (Lightning's ``max_accepted_htlcs`` cap).
+    """
+
+
 class BudgetExceeded(ReproError):
     """A strategy violates the joining user's budget constraint."""
 

@@ -14,9 +14,14 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator, List, Optional, Tuple
 
-from ..errors import InsufficientBalance, InvalidParameter
+from ..errors import HtlcError, InsufficientBalance, InvalidParameter
 
-__all__ = ["Channel", "PaymentRecord"]
+__all__ = ["Channel", "PaymentRecord", "DEFAULT_MAX_ACCEPTED_HTLCS"]
+
+#: Lightning's BOLT-2 default for ``max_accepted_htlcs``: at most 483
+#: concurrent in-flight HTLCs per channel direction. This is the finite
+#: resource that slot-jamming attacks exhaust.
+DEFAULT_MAX_ACCEPTED_HTLCS = 483
 
 _channel_counter = itertools.count()
 
@@ -55,11 +60,15 @@ class Channel:
         balance_v: coins initially owned by ``v`` in the channel.
         channel_id: optional stable identifier; auto-generated when omitted.
         record_history: keep a list of :class:`PaymentRecord` for auditing.
+        max_accepted_htlcs: per-direction cap on concurrent in-flight HTLCs
+            (:data:`DEFAULT_MAX_ACCEPTED_HTLCS`, Lightning's 483). ``None``
+            disables the cap.
     """
 
     __slots__ = (
         "u", "v", "_balances", "channel_id", "_history",
         "fee_base", "fee_rate", "_on_mutate",
+        "max_accepted_htlcs", "_htlc_slots",
     )
 
     def __init__(
@@ -72,6 +81,7 @@ class Channel:
         record_history: bool = False,
         fee_base: float = 0.0,
         fee_rate: float = 0.0,
+        max_accepted_htlcs: Optional[int] = DEFAULT_MAX_ACCEPTED_HTLCS,
     ) -> None:
         if u == v:
             raise InvalidParameter("a channel needs two distinct endpoints")
@@ -79,9 +89,17 @@ class Channel:
             raise InvalidParameter("channel balances must be non-negative")
         if fee_base < 0 or fee_rate < 0:
             raise InvalidParameter("channel fee params must be non-negative")
+        if max_accepted_htlcs is not None and max_accepted_htlcs < 1:
+            raise InvalidParameter(
+                f"max_accepted_htlcs must be >= 1 or None, "
+                f"got {max_accepted_htlcs}"
+            )
         self.u = u
         self.v = v
         self._balances = {u: float(balance_u), v: float(balance_v)}
+        self.max_accepted_htlcs = max_accepted_htlcs
+        # In-flight HTLC count per direction, keyed by the sending endpoint.
+        self._htlc_slots = {u: 0, v: 0}
         self.channel_id = channel_id if channel_id is not None else _next_channel_id()
         self._history: Optional[List[PaymentRecord]] = [] if record_history else None
         #: Per-channel fee policy (Lightning base/proportional form);
@@ -125,6 +143,46 @@ class Channel:
         if amount < 0:
             raise InvalidParameter(f"payment amount must be >= 0, got {amount}")
         return self._balances[sender] >= amount
+
+    # -- HTLC slot accounting ---------------------------------------------
+
+    def htlc_slots_used(self, sender: Hashable) -> int:
+        """In-flight HTLCs currently occupying the ``sender`` -> other
+        direction of this channel."""
+        self._check_endpoint(sender)
+        return self._htlc_slots[sender]
+
+    def has_free_htlc_slot(self, sender: Hashable) -> bool:
+        """Whether another HTLC can be added in the ``sender`` direction."""
+        self._check_endpoint(sender)
+        if self.max_accepted_htlcs is None:
+            return True
+        return self._htlc_slots[sender] < self.max_accepted_htlcs
+
+    def open_htlc(self, sender: Hashable) -> None:
+        """Occupy one HTLC slot in the ``sender`` direction.
+
+        Raises:
+            HtlcError: when every slot in that direction is already taken
+                (the channel direction is *jammed*).
+        """
+        if not self.has_free_htlc_slot(sender):
+            raise HtlcError(
+                f"channel {self.channel_id!r} has no free HTLC slot in "
+                f"direction {sender!r} -> {self.other(sender)!r} "
+                f"(cap {self.max_accepted_htlcs})"
+            )
+        self._htlc_slots[sender] += 1
+
+    def close_htlc(self, sender: Hashable) -> None:
+        """Release one HTLC slot (on settle, fail, or expiry)."""
+        self._check_endpoint(sender)
+        if self._htlc_slots[sender] <= 0:
+            raise HtlcError(
+                f"channel {self.channel_id!r} has no open HTLC in "
+                f"direction {sender!r} -> {self.other(sender)!r} to close"
+            )
+        self._htlc_slots[sender] -= 1
 
     # -- mutation ----------------------------------------------------------
 

@@ -26,7 +26,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tupl
 import networkx as nx
 
 from ..errors import ChannelNotFound, DuplicateChannel, InvalidParameter, NodeNotFound
-from .channel import Channel
+from .channel import DEFAULT_MAX_ACCEPTED_HTLCS, Channel
 from .views import GraphView, build_view
 
 __all__ = ["ChannelGraph"]
@@ -77,6 +77,7 @@ class ChannelGraph:
         record_history: bool = False,
         fee_base: float = 0.0,
         fee_rate: float = 0.0,
+        max_accepted_htlcs: Optional[int] = DEFAULT_MAX_ACCEPTED_HTLCS,
     ) -> Channel:
         """Open a channel between ``u`` and ``v`` and return it.
 
@@ -87,6 +88,7 @@ class ChannelGraph:
             u, v, balance_u, balance_v, channel_id=channel_id,
             record_history=record_history,
             fee_base=fee_base, fee_rate=fee_rate,
+            max_accepted_htlcs=max_accepted_htlcs,
         )
         if channel.channel_id in self._channels:
             if channel_id is not None:
@@ -101,6 +103,7 @@ class ChannelGraph:
                     u, v, balance_u, balance_v,
                     record_history=record_history,
                     fee_base=fee_base, fee_rate=fee_rate,
+                    max_accepted_htlcs=max_accepted_htlcs,
                 )
         self.add_node(u)
         self.add_node(v)
@@ -149,6 +152,7 @@ class ChannelGraph:
                 record_history=channel._history is not None,
                 fee_base=channel.fee_base,
                 fee_rate=channel.fee_rate,
+                max_accepted_htlcs=channel.max_accepted_htlcs,
             )
         return clone
 
@@ -226,6 +230,22 @@ class ChannelGraph:
         terms of in-degree.
         """
         return self.degree(node)
+
+    def set_htlc_slot_cap(self, cap: Optional[int]) -> None:
+        """Set ``max_accepted_htlcs`` on every existing channel.
+
+        Used by attack scenarios to study slot exhaustion at realistic (or
+        deliberately scarce) slot budgets; new channels keep their own cap.
+
+        Raises:
+            InvalidParameter: when ``cap`` is below 1 (``None`` = no cap).
+        """
+        if cap is not None and cap < 1:
+            raise InvalidParameter(
+                f"HTLC slot cap must be >= 1 or None, got {cap}"
+            )
+        for channel in self._channels.values():
+            channel.max_accepted_htlcs = cap
 
     def total_capacity(self) -> float:
         return sum(c.capacity for c in self._channels.values())

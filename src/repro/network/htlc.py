@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from ..errors import ReproError, RoutingError
+from ..errors import HtlcError, RoutingError
 from .channel import Channel
 from .fees import ConstantFee, FeeFunction
 from .graph import ChannelGraph
@@ -30,10 +30,6 @@ from .graph import ChannelGraph
 __all__ = ["HtlcError", "HtlcState", "Htlc", "HtlcPayment", "HtlcRouter"]
 
 _payment_ids = itertools.count()
-
-
-class HtlcError(ReproError):
-    """An HTLC operation violated the protocol state machine."""
 
 
 class HtlcState(Enum):
@@ -56,7 +52,13 @@ class Htlc:
 
 @dataclass
 class HtlcPayment:
-    """A chain of per-hop HTLCs for one multi-hop payment."""
+    """A chain of per-hop HTLCs for one multi-hop payment.
+
+    ``failure_reason`` is set when a :meth:`HtlcRouter.lock` fails:
+    ``"no-balance"`` (no channel on some hop could fund the amount) or
+    ``"no-slots"`` (a channel had the balance but every HTLC slot in the
+    needed direction was occupied — the jammed case).
+    """
 
     payment_id: int
     path: Tuple[Hashable, ...]
@@ -64,6 +66,7 @@ class HtlcPayment:
     state: HtlcState = HtlcState.PENDING
     hops: List[Htlc] = field(default_factory=list)
     fees_per_node: Dict[Hashable, float] = field(default_factory=dict)
+    failure_reason: str = ""
 
     @property
     def sender(self) -> Hashable:
@@ -110,7 +113,12 @@ class HtlcRouter:
 
     # -- helpers -------------------------------------------------------------
 
-    def _hop_amounts(self, hops: int, amount: float) -> List[float]:
+    def hop_amounts(self, hops: int, amount: float) -> List[float]:
+        """Per-hop amounts (sender side first) for delivering ``amount``.
+
+        Public so extensions (e.g. attack strategies sizing their capital
+        commitments) can price a route the same way ``lock`` will.
+        """
         amounts = [amount]
         for _ in range(hops - 1):
             amounts.insert(0, amounts[0] + self.fee(amounts[0]))
@@ -118,14 +126,26 @@ class HtlcRouter:
 
     def _pick_channel(
         self, src: Hashable, dst: Hashable, amount: float
-    ) -> Optional[Channel]:
+    ) -> Tuple[Optional[Channel], str]:
+        """Best funded channel with a free slot, plus the failure reason.
+
+        Returns ``(channel, "")`` on success; ``(None, "no-balance")`` when
+        no channel can fund the hop; ``(None, "no-slots")`` when at least
+        one channel could fund it but its HTLC slots are exhausted.
+        """
         best: Optional[Channel] = None
+        funded = False
         for channel in self.graph.channels_between(src, dst):
-            if channel.balance(src) >= amount and (
-                best is None or channel.balance(src) > best.balance(src)
-            ):
+            if channel.balance(src) < amount:
+                continue
+            funded = True
+            if not channel.has_free_htlc_slot(src):
+                continue
+            if best is None or channel.balance(src) > best.balance(src):
                 best = channel
-        return best
+        if best is not None:
+            return best, ""
+        return None, "no-slots" if funded else "no-balance"
 
     # -- the protocol -----------------------------------------------------------
 
@@ -141,7 +161,7 @@ class HtlcRouter:
         if amount <= 0:
             raise HtlcError(f"amount must be > 0, got {amount}")
         hops = len(path) - 1
-        hop_amounts = self._hop_amounts(hops, amount)
+        hop_amounts = self.hop_amounts(hops, amount)
         payment = HtlcPayment(
             payment_id=next(_payment_ids),
             path=tuple(path),
@@ -149,15 +169,18 @@ class HtlcRouter:
         )
         expiry = self.base_expiry + self.expiry_delta * (hops - 1)
         for (src, dst), hop_amount in zip(zip(path, path[1:]), hop_amounts):
-            channel = self._pick_channel(src, dst, hop_amount)
+            channel, reason = self._pick_channel(src, dst, hop_amount)
             if channel is None:
                 self._unwind(payment)
                 payment.state = HtlcState.FAILED
+                payment.failure_reason = reason
                 return payment
             # reserve: the hop amount leaves the sender's spendable balance
             # into escrow; settlement decides whether it lands on the other
-            # side (settle) or returns (fail/expire).
+            # side (settle) or returns (fail/expire). The HTLC also occupies
+            # one of the direction's slots until resolution.
             channel.withdraw(src, hop_amount)
+            channel.open_htlc(src)
             payment.hops.append(
                 Htlc(channel=channel, sender=src, amount=hop_amount,
                      expiry=expiry)
@@ -177,6 +200,7 @@ class HtlcRouter:
         for htlc in payment.hops:
             receiver = htlc.channel.other(htlc.sender)
             htlc.channel.deposit(receiver, htlc.amount)
+            htlc.channel.close_htlc(htlc.sender)
         amounts = [h.amount for h in payment.hops]
         for node, inbound, outbound in zip(
             payment.path[1:-1], amounts, amounts[1:]
@@ -218,6 +242,7 @@ class HtlcRouter:
     def _unwind(self, payment: HtlcPayment) -> None:
         for htlc in reversed(payment.hops):
             htlc.channel.deposit(htlc.sender, htlc.amount)
+            htlc.channel.close_htlc(htlc.sender)
         payment.hops.clear()
 
     def _require_pending(self, payment: HtlcPayment) -> None:

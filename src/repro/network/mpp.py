@@ -129,7 +129,7 @@ class MppRouter:
         hops = len(path) - 1
         part = bottleneck
         for _ in range(6):
-            fee_needed = self.htlc._hop_amounts(hops, part)[0] - part
+            fee_needed = self.htlc.hop_amounts(hops, part)[0] - part
             part = bottleneck - fee_needed
             if part <= 0:
                 return 0.0

@@ -40,18 +40,21 @@ from typing import TYPE_CHECKING
 from .grid import derive_seed, evaluate_grid, grid_points
 from .registry import (
     ALGORITHMS,
+    ATTACKS,
     FEES,
     JoinAlgorithm,
     Registry,
     TOPOLOGIES,
     WORKLOADS,
     register_algorithm,
+    register_attack,
     register_fee,
     register_topology,
     register_workload,
 )
 from .specs import (
     AlgorithmSpec,
+    AttackSpec,
     FeeSpec,
     Scenario,
     SimulationSpec,
@@ -64,7 +67,9 @@ if TYPE_CHECKING:  # pragma: no cover - lazy at runtime, eager for typing
 
 __all__ = [
     "ALGORITHMS",
+    "ATTACKS",
     "AlgorithmSpec",
+    "AttackSpec",
     "FEES",
     "FeeSpec",
     "JoinAlgorithm",
@@ -82,6 +87,7 @@ __all__ = [
     "evaluate_grid",
     "grid_points",
     "register_algorithm",
+    "register_attack",
     "register_fee",
     "register_topology",
     "register_workload",

@@ -49,12 +49,14 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
 
 __all__ = [
     "ALGORITHMS",
+    "ATTACKS",
     "FEES",
     "JoinAlgorithm",
     "Registry",
     "TOPOLOGIES",
     "WORKLOADS",
     "register_algorithm",
+    "register_attack",
     "register_fee",
     "register_topology",
     "register_workload",
@@ -139,8 +141,12 @@ ALGORITHMS = Registry("algorithm")
 FEES = Registry("fee")
 #: Workload builders: key -> ``(graph, seed=..., **params) -> workload``.
 WORKLOADS = Registry("workload")
+#: Attack-strategy builders: key -> ``(**params) -> AttackStrategy``
+#: (see :mod:`repro.attacks.strategies` for the protocol and builtins).
+ATTACKS = Registry("attack")
 
 register_topology = TOPOLOGIES.register
 register_algorithm = ALGORITHMS.register
 register_fee = FEES.register
 register_workload = WORKLOADS.register
+register_attack = ATTACKS.register

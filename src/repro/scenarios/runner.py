@@ -24,9 +24,19 @@ from __future__ import annotations
 import inspect
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 # Imported for the side effect of registering the builtin plugins.
+from ..attacks import strategies as _attack_strategies  # noqa: F401  (jamming, ...)
 from ..core import algorithms as _algorithms  # noqa: F401  (greedy, ...)
 from ..core.algorithms.common import OptimisationResult
 from ..core.utility import JoiningUserModel
@@ -44,7 +54,17 @@ from .grid import derive_seed, evaluate_grid, grid_points
 from .registry import ALGORITHMS, FEES, TOPOLOGIES, WORKLOADS
 from .specs import Scenario, SimulationSpec, WorkloadSpec
 
-__all__ = ["ScenarioResult", "ScenarioRunner", "build_topology"]
+if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
+    from ..attacks.report import AttackReport
+
+__all__ = [
+    "ScenarioResult",
+    "ScenarioRunner",
+    "build_engine",
+    "build_fee",
+    "build_topology",
+    "build_workload",
+]
 
 
 def _accepts_keyword(fn: Callable[..., Any], name: str) -> bool:
@@ -78,6 +98,55 @@ def build_topology(spec, seed: Optional[int] = None) -> ChannelGraph:
     return builder(**params)
 
 
+def build_workload(scenario: Scenario, graph: ChannelGraph):
+    """Resolve and invoke the scenario's workload builder on ``graph``.
+
+    The scenario seed is injected unless the params pin one, so a given
+    (scenario, graph) pair always produces the same transaction stream.
+    """
+    workload_spec = scenario.workload or WorkloadSpec("poisson")
+    workload_builder = WORKLOADS.get(workload_spec.kind)
+    workload_params = dict(workload_spec.params)
+    workload_params.setdefault("seed", scenario.seed)
+    try:
+        return workload_builder(graph, **workload_params)
+    except TypeError as exc:
+        raise ScenarioError(
+            f"workload {workload_spec.kind!r} rejected params "
+            f"{workload_spec.params!r}: {exc}"
+        ) from exc
+
+
+def build_fee(scenario: Scenario):
+    """Resolve the scenario's fee function (``None`` when unspecified)."""
+    if scenario.fee is None:
+        return None
+    fee_builder = FEES.get(scenario.fee.kind)
+    try:
+        return fee_builder(**scenario.fee.params)
+    except TypeError as exc:
+        raise ScenarioError(
+            f"fee {scenario.fee.kind!r} rejected params "
+            f"{scenario.fee.params!r}: {exc}"
+        ) from exc
+
+
+def build_engine(scenario: Scenario, graph: ChannelGraph) -> SimulationEngine:
+    """A :class:`SimulationEngine` configured from the scenario's specs."""
+    sim = scenario.simulation
+    if sim is None:
+        raise ScenarioError("scenario has no simulation section")
+    return SimulationEngine(
+        graph,
+        fee=build_fee(scenario),
+        fee_forwarding=sim.fee_forwarding,
+        path_selection=sim.path_selection,
+        seed=scenario.seed,
+        payment_mode=sim.payment_mode,
+        htlc_hold_mean=sim.htlc_hold_mean,
+    )
+
+
 @dataclass
 class ScenarioResult:
     """Everything one scenario execution produced.
@@ -89,7 +158,11 @@ class ScenarioResult:
             sweep tables.
         graph: the (possibly mutated) channel graph.
         optimisation: present when the scenario had an ``algorithm``.
-        metrics: present when the scenario had a ``simulation``.
+        metrics: present when the scenario had a ``simulation`` (under an
+            ``attack``, these are the honest metrics of the attacked run).
+        attack: the :class:`~repro.attacks.report.AttackReport` when the
+            scenario had an ``attack`` section.
+        baseline_metrics: the honest-baseline metrics of an attack run.
     """
 
     scenario: Scenario
@@ -97,6 +170,11 @@ class ScenarioResult:
     graph: Optional[ChannelGraph] = None
     optimisation: Optional[OptimisationResult] = None
     metrics: Optional[SimulationMetrics] = None
+    #: Present when the scenario had an ``attack``: the damage accounting,
+    #: the untouched baseline metrics (``metrics`` then holds the honest
+    #: metrics of the *attacked* run).
+    attack: Optional["AttackReport"] = None
+    baseline_metrics: Optional[SimulationMetrics] = None
 
     def view(self, directed: bool = True, reduced: float = 0.0) -> GraphView:
         """An immutable CSR snapshot of the (post-run) result graph.
@@ -136,13 +214,32 @@ class ScenarioRunner:
 
     def run(self, scenario: Scenario) -> ScenarioResult:
         """Execute every stage the scenario declares."""
-        graph = build_topology(scenario.topology, seed=scenario.seed)
         row: Dict[str, Any] = {
             "scenario": scenario.name,
             "seed": scenario.seed,
-            "nodes": len(graph),
-            "channels": graph.num_channels(),
         }
+        if scenario.attack is not None:
+            # The attack stage subsumes the simulation stage — and builds
+            # its own baseline/attacked graph pair, so don't build a
+            # third topology here that would only be thrown away.
+            from ..attacks.runner import AttackRunner
+
+            outcome = AttackRunner().run(scenario)
+            result = ScenarioResult(
+                scenario=scenario,
+                row=row,
+                graph=outcome.graph,
+                metrics=outcome.attacked_metrics,
+                baseline_metrics=outcome.baseline_metrics,
+                attack=outcome.report,
+            )
+            row.update(nodes=len(outcome.graph),
+                       channels=outcome.graph.num_channels())
+            self._simulation_columns(row, outcome.attacked_metrics)
+            row.update(outcome.report.to_row())
+            return result
+        graph = build_topology(scenario.topology, seed=scenario.seed)
+        row.update(nodes=len(graph), channels=graph.num_channels())
         result = ScenarioResult(scenario=scenario, row=row, graph=graph)
         if scenario.algorithm is not None:
             result.optimisation = self._run_algorithm(scenario, graph)
@@ -156,17 +253,20 @@ class ScenarioRunner:
             )
         if scenario.simulation is not None:
             result.metrics = self._run_simulation(scenario, graph)
-            metrics = result.metrics
-            row.update(
-                attempted=metrics.attempted,
-                succeeded=metrics.succeeded,
-                failed=metrics.failed,
-                success_rate=metrics.success_rate,
-                volume_delivered=metrics.volume_delivered,
-                total_revenue=sum(metrics.revenue.values()),
-                horizon=metrics.horizon,
-            )
+            self._simulation_columns(row, result.metrics)
         return result
+
+    @staticmethod
+    def _simulation_columns(row: Dict[str, Any], metrics: SimulationMetrics) -> None:
+        row.update(
+            attempted=metrics.attempted,
+            succeeded=metrics.succeeded,
+            failed=metrics.failed,
+            success_rate=metrics.success_rate,
+            volume_delivered=metrics.volume_delivered,
+            total_revenue=sum(metrics.revenue.values()),
+            horizon=metrics.horizon,
+        )
 
     def _run_algorithm(
         self, scenario: Scenario, graph: ChannelGraph
@@ -193,36 +293,8 @@ class ScenarioRunner:
         self, scenario: Scenario, graph: ChannelGraph
     ) -> SimulationMetrics:
         sim: SimulationSpec = scenario.simulation  # type: ignore[assignment]
-        workload_spec = scenario.workload or WorkloadSpec("poisson")
-        workload_builder = WORKLOADS.get(workload_spec.kind)
-        workload_params = dict(workload_spec.params)
-        workload_params.setdefault("seed", scenario.seed)
-        try:
-            workload = workload_builder(graph, **workload_params)
-        except TypeError as exc:
-            raise ScenarioError(
-                f"workload {workload_spec.kind!r} rejected params "
-                f"{workload_spec.params!r}: {exc}"
-            ) from exc
-        fee = None
-        if scenario.fee is not None:
-            fee_builder = FEES.get(scenario.fee.kind)
-            try:
-                fee = fee_builder(**scenario.fee.params)
-            except TypeError as exc:
-                raise ScenarioError(
-                    f"fee {scenario.fee.kind!r} rejected params "
-                    f"{scenario.fee.params!r}: {exc}"
-                ) from exc
-        engine = SimulationEngine(
-            graph,
-            fee=fee,
-            fee_forwarding=sim.fee_forwarding,
-            path_selection=sim.path_selection,
-            seed=scenario.seed,
-            payment_mode=sim.payment_mode,
-            htlc_hold_mean=sim.htlc_hold_mean,
-        )
+        workload = build_workload(scenario, graph)
+        engine = build_engine(scenario, graph)
         engine.schedule_workload(workload, horizon=sim.horizon)
         return engine.run()
 

@@ -39,6 +39,7 @@ from ..errors import ScenarioError
 
 __all__ = [
     "AlgorithmSpec",
+    "AttackSpec",
     "FeeSpec",
     "Scenario",
     "SimulationSpec",
@@ -134,6 +135,20 @@ class FeeSpec(_PluginSpec):
     Builtin kinds: ``"constant"`` (params: ``fee``), ``"linear"``
     (params: ``base``, ``rate``), ``"piecewise"`` (params: ``knots`` as a
     list of ``[amount, fee]`` pairs).
+    """
+
+
+@dataclass(frozen=True)
+class AttackSpec(_PluginSpec):
+    """An adversarial traffic stage run against the simulation.
+
+    Builtin kinds (see :mod:`repro.attacks.strategies`):
+    ``"slow-jamming"``, ``"liquidity-depletion"``, ``"fee-griefing"``.
+    Common params: ``budget`` (attacker capital endowment), ``victim``
+    (node id; defaults to the highest-betweenness node), ``amount``,
+    ``rate``, ``hold_time``, ``max_concurrent``. The spec-level
+    ``slot_cap`` param (applied by the attack runner to both the baseline
+    and the attacked graph) sets ``max_accepted_htlcs`` on every channel.
     """
 
 
@@ -240,8 +255,11 @@ class Scenario:
     A scenario with only a ``topology`` builds a graph; adding an
     ``algorithm`` runs a joining-strategy optimiser on it; adding a
     ``simulation`` (with an optional ``workload`` and ``fee``) drives the
-    discrete-event simulator. The single ``seed`` feeds every stochastic
-    stage, so a scenario is a complete, reproducible experiment record.
+    discrete-event simulator; adding an ``attack`` (requires a
+    ``simulation``) runs the adversarial traffic engine, which simulates
+    an honest baseline and an attacked run and reports the damage. The
+    single ``seed`` feeds every stochastic stage, so a scenario is a
+    complete, reproducible experiment record.
     """
 
     topology: TopologySpec
@@ -249,6 +267,7 @@ class Scenario:
     fee: Optional[FeeSpec] = None
     algorithm: Optional[AlgorithmSpec] = None
     simulation: Optional[SimulationSpec] = None
+    attack: Optional[AttackSpec] = None
     name: str = "scenario"
     seed: int = 0
 
@@ -260,6 +279,19 @@ class Scenario:
             )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ScenarioError(f"Scenario.seed must be an int, got {self.seed!r}")
+        if self.attack is not None:
+            if self.simulation is None:
+                raise ScenarioError(
+                    "an attack stage requires a simulation stage (the "
+                    "honest workload the attacker disrupts)"
+                )
+            if self.algorithm is not None:
+                raise ScenarioError(
+                    "attack and algorithm stages cannot be combined: the "
+                    "attack runner rebuilds the topology for its "
+                    "baseline/attacked pair, which would discard the "
+                    "optimiser's joined channels"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         """A plain-JSON document; optional stages are omitted when unset."""
@@ -269,7 +301,7 @@ class Scenario:
             "seed": self.seed,
             "topology": self.topology.to_dict(),
         }
-        for key in ("workload", "fee", "algorithm", "simulation"):
+        for key in ("workload", "fee", "algorithm", "simulation", "attack"):
             spec = getattr(self, key)
             if spec is not None:
                 doc[key] = spec.to_dict()
@@ -280,7 +312,7 @@ class Scenario:
         document = _require_mapping(document, "Scenario")
         known = {
             "schema_version", "name", "seed", "topology",
-            "workload", "fee", "algorithm", "simulation",
+            "workload", "fee", "algorithm", "simulation", "attack",
         }
         unknown = set(document) - known
         if unknown:
@@ -304,6 +336,7 @@ class Scenario:
             fee=section("fee", FeeSpec),
             algorithm=section("algorithm", AlgorithmSpec),
             simulation=section("simulation", SimulationSpec),
+            attack=section("attack", AttackSpec),
             name=document.get("name", "scenario"),
             seed=document.get("seed", 0),
         )

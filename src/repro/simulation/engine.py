@@ -10,7 +10,7 @@ feasibility), which bench E11 compares against Eq. 2/Eq. 3 predictions.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Type
 
 import numpy as np
 
@@ -83,15 +83,44 @@ class SimulationEngine:
         self.metrics = SimulationMetrics()
         self._queue = EventQueue()
         self._now = 0.0
+        self._handlers: Dict[Type[Event], Callable[[Event], None]] = {}
 
     @property
     def now(self) -> float:
         return self._now
 
+    @property
+    def htlc_router(self) -> HtlcRouter:
+        """The engine's HTLC router — shared with adversarial extensions so
+        attacker locks and honest locks contend for the same slots and
+        balances."""
+        return self._htlc_router
+
     # -- scheduling -----------------------------------------------------------
 
     def schedule(self, event: Event) -> None:
         self._queue.push(event)
+
+    def register_handler(
+        self, event_type: Type[Event], handler: Callable[[Event], None]
+    ) -> None:
+        """Register a dispatcher for a custom :class:`Event` subclass.
+
+        Extensions (e.g. :mod:`repro.attacks`) inject their own event types
+        into the shared queue; ``run`` dispatches them to ``handler`` in
+        time order, interleaved with the honest workload. Builtin event
+        types cannot be overridden.
+        """
+        builtin = (
+            PaymentEvent, HtlcResolveEvent, ChannelOpenEvent, ChannelCloseEvent,
+        )
+        if issubclass(event_type, builtin):
+            # _dispatch routes by isinstance first, so a handler for a
+            # builtin subclass would silently never fire.
+            raise SimulationError(
+                f"cannot override builtin event type {event_type.__name__}"
+            )
+        self._handlers[event_type] = handler
 
     def schedule_workload(
         self, workload: PoissonWorkload, horizon: float
@@ -161,7 +190,12 @@ class SimulationEngine:
         elif isinstance(event, ChannelCloseEvent):
             self.graph.remove_channel(event.channel_id)
         else:
-            raise SimulationError(f"unknown event type {type(event).__name__}")
+            handler = self._handlers.get(type(event))
+            if handler is None:
+                raise SimulationError(
+                    f"unknown event type {type(event).__name__}"
+                )
+            handler(event)
 
     def _handle_payment(self, event: PaymentEvent) -> None:
         metrics = self.metrics
@@ -200,7 +234,11 @@ class SimulationEngine:
         payment = self._htlc_router.lock(route.nodes, event.amount)
         if payment.state is not HtlcState.PENDING:
             metrics.failed += 1
-            metrics.failure_reasons["lock-contention"] += 1
+            reason = (
+                "no-htlc-slots" if payment.failure_reason == "no-slots"
+                else "lock-contention"
+            )
+            metrics.failure_reasons[reason] += 1
             return
         metrics.htlc_locked_peak = max(
             metrics.htlc_locked_peak, self._htlc_router.locked_capital()

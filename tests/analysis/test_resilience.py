@@ -1,0 +1,48 @@
+"""Tests for the NE-topology attack-resilience table."""
+
+import pytest
+
+from repro.analysis.resilience import (
+    TABLE_COLUMNS,
+    equilibrium_topology_docs,
+    resilience_table,
+)
+
+
+class TestTopologyDocs:
+    def test_size_matched_node_counts(self):
+        docs = equilibrium_topology_docs(9, balance=2.0)
+        assert [d["kind"] for d in docs] == ["star", "path", "circle"]
+        assert docs[0]["params"] == {"leaves": 8, "balance": 2.0}
+        assert docs[1]["params"] == {"n": 9, "balance": 2.0}
+        assert docs[2]["params"] == {"n": 9, "balance": 2.0}
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            equilibrium_topology_docs(3)
+
+
+class TestResilienceTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return resilience_table(
+            [600.0], strategy="slow-jamming", size=7, horizon=15.0, seed=7
+        )
+
+    def test_one_row_per_topology_budget_pair(self, rows):
+        assert [r["topology"] for r in rows] == ["star", "path", "circle"]
+        assert all(r["attack_budget"] == 600.0 for r in rows)
+        assert all(tuple(r) == TABLE_COLUMNS for r in rows)
+
+    def test_jamming_destroys_revenue_on_every_equilibrium(self, rows):
+        assert all(r["victim_revenue_delta"] > 0 for r in rows)
+        assert all(r["baseline_victim_revenue"] > 0 for r in rows)
+
+    def test_star_victim_is_the_hub(self, rows):
+        assert rows[0]["victim"] == "center"
+
+    def test_process_executor_matches_serial(self):
+        kwargs = dict(strategy="slow-jamming", size=7, horizon=10.0, seed=3)
+        serial = resilience_table([400.0], executor="serial", **kwargs)
+        process = resilience_table([400.0], executor="process", **kwargs)
+        assert serial == process

@@ -192,3 +192,51 @@ class TestSweep:
             json.loads(serial_path.read_text())
             == json.loads(process_path.read_text())
         )
+
+
+class TestAttack:
+    def test_attack_reports_damage(self, capsys):
+        code = main(
+            ["attack", "--topology", "star", "--strategy", "slow-jamming",
+             "--budget", "500", "--seed", "7", "--horizon", "15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[slow-jamming vs center]" in out
+        assert "attack report" in out
+        assert "victim_revenue_delta" in out
+
+    def test_attack_is_deterministic(self, capsys):
+        args = ["attack", "--topology", "star", "--strategy", "slow-jamming",
+                "--budget", "1000", "--seed", "7", "--horizon", "15"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_attack_explicit_victim_on_path(self, capsys):
+        code = main(
+            ["attack", "--topology", "path", "--size", "6",
+             "--strategy", "liquidity-depletion", "--budget", "400",
+             "--victim", "v002", "--seed", "3", "--horizon", "10"]
+        )
+        assert code == 0
+        assert "vs v002" in capsys.readouterr().out
+
+    def test_attack_unknown_victim_errors_cleanly(self, capsys):
+        code = main(
+            ["attack", "--victim", "nobody", "--horizon", "5"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_prints_resilience_table(self, capsys):
+        code = main(
+            ["attack", "--compare", "--size", "7", "--budget", "400",
+             "--seed", "7", "--horizon", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NE resilience under slow-jamming" in out
+        for topology in ("star", "path", "circle"):
+            assert topology in out
