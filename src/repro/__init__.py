@@ -83,7 +83,12 @@ from .core import (
     greedy_fixed_funds,
 )
 from .equilibrium import NetworkGameModel, check_nash
-from .simulation import SimulationEngine
+from .simulation import (
+    BatchedSimulationEngine,
+    ShardedTraceRunner,
+    SimulationEngine,
+)
+from .transactions import TraceArrays
 from .scenarios import (
     AlgorithmSpec,
     AttackSpec,
@@ -111,6 +116,7 @@ __all__ = [
     "AttackRunner",
     "AttackSpec",
     "AttackStrategy",
+    "BatchedSimulationEngine",
     "BetweennessArrays",
     "BudgetExceeded",
     "Channel",
@@ -137,12 +143,14 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "ScenarioRunner",
+    "ShardedTraceRunner",
     "SimulationEngine",
     "SimulationError",
     "SimulationSpec",
     "SnapshotFormatError",
     "Strategy",
     "TopologySpec",
+    "TraceArrays",
     "WorkloadSpec",
     "brute_force",
     "check_nash",

@@ -25,6 +25,7 @@ from typing import Hashable, List, Optional
 from ..errors import ScenarioError
 from ..network.betweenness import pair_weighted_betweenness
 from ..network.graph import ChannelGraph
+from ..scenarios.factory import build_engine, build_topology, build_workload
 from ..scenarios.registry import ATTACKS
 from ..scenarios.specs import Scenario
 from ..simulation.metrics import SimulationMetrics
@@ -71,14 +72,19 @@ class AttackRunner:
     """Runs the attack stage of a scenario (see the module docstring)."""
 
     def run(self, scenario: Scenario) -> AttackOutcome:
-        # Imported lazily: scenarios.runner imports attack strategies for
-        # registration, so a module-level import here would be circular.
-        from ..scenarios.runner import build_engine, build_topology, build_workload
-
         spec = scenario.attack
         if spec is None or scenario.simulation is None:
             raise ScenarioError(
                 "AttackRunner needs a scenario with attack and simulation stages"
+            )
+        if scenario.simulation.backend != "event":
+            # Scenario validation already rejects this combination; the
+            # guard keeps the invariant explicit for callers that build
+            # scenario-shaped objects by other means.
+            raise ScenarioError(
+                "attack strategies schedule events on the engine's shared "
+                "queue and need simulation backend='event'; the batched "
+                "backend has no queue to inject into"
             )
         strategy = self._build_strategy(spec)
         horizon = scenario.simulation.horizon

@@ -152,7 +152,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             },
         ),
         fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
-        simulation=SimulationSpec(horizon=args.horizon),
+        simulation=SimulationSpec(horizon=args.horizon, backend=args.backend),
         name="simulate",
         seed=args.seed,
     )
@@ -217,6 +217,12 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
     scenario = _load_scenario(args.scenario)
     if args.seed is not None:
         scenario = scenario.with_overrides({"seed": args.seed})
+    if args.backend is not None:
+        if scenario.simulation is None:
+            raise ScenarioError(
+                "--backend needs a scenario with a simulation section"
+            )
+        scenario = scenario.with_overrides({"simulation.backend": args.backend})
     result = ScenarioRunner().run(scenario)
     print(result.summary())
     print(format_table([result.row], title=scenario.name))
@@ -397,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--horizon", type=float, default=100.0)
     p_sim.add_argument("--tx-scale", type=float, default=0.5)
     p_sim.add_argument("--tx-max", type=float, default=5.0)
+    p_sim.add_argument(
+        "--backend", choices=["event", "batched"], default="event",
+        help="simulation backend: the discrete-event queue or the "
+        "vectorised batched fast path (identical metrics, large traces "
+        "run several times faster)",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_est = sub.add_parser(
@@ -413,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("scenario", help="scenario JSON path")
     p_run.add_argument(
         "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    p_run.add_argument(
+        "--backend", choices=["event", "batched"], default=None,
+        help="override the scenario's simulation backend",
     )
     p_run.set_defaults(func=_cmd_run_scenario)
 

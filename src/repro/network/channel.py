@@ -201,6 +201,19 @@ class Channel:
             self._history.append(PaymentRecord(sender, receiver, amount, timestamp))
         self._notify()
 
+    def set_balances(self, balance_u: float, balance_v: float) -> None:
+        """Overwrite both sides' balances in one step.
+
+        The batched simulation backend runs on array state and writes the
+        final split back here; unlike :meth:`send` this may change the
+        capacity, so callers are responsible for conservation.
+        """
+        if balance_u < 0 or balance_v < 0:
+            raise InvalidParameter("channel balances must be non-negative")
+        self._balances[self.u] = float(balance_u)
+        self._balances[self.v] = float(balance_v)
+        self._notify()
+
     def deposit(self, node: Hashable, amount: float) -> None:
         """Add ``amount`` fresh coins to ``node``'s side (a splice-in)."""
         self._check_endpoint(node)

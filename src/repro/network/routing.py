@@ -20,9 +20,151 @@ from ..errors import RoutingError
 from .channel import Channel
 from .fees import ConstantFee, FeeFunction
 from .graph import ChannelGraph
-from .views import SMALL_GRAPH_NODES, GraphView, bfs_shortest_path_tree
+from .views import SMALL_GRAPH_NODES, BfsTree, GraphView, bfs_shortest_path_tree
 
-__all__ = ["Route", "PaymentOutcome", "Router"]
+__all__ = [
+    "PaymentOutcome",
+    "PaymentRouteRng",
+    "Route",
+    "Router",
+    "small_bfs_structure",
+    "walk_csr",
+    "walk_small",
+]
+
+
+class PaymentRouteRng:
+    """A lazily-constructed RNG keyed on ``(base seed, payment index)``.
+
+    Payments with a unique shortest path draw nothing, so the (relatively
+    expensive) ``default_rng`` seeding only happens for payments that
+    actually face a tie-break. Derivation from the pair rather than a
+    shared stream makes each payment's draws independent of which other
+    payments ran before it — the property that lets sharded and batched
+    executions reproduce the event engine exactly.
+    """
+
+    __slots__ = ("_key", "_gen")
+
+    def __init__(self, base: int, index: int) -> None:
+        self._key = (base, index)
+        self._gen: Optional[np.random.Generator] = None
+
+    def _generator(self) -> np.random.Generator:
+        if self._gen is None:
+            self._gen = np.random.default_rng(self._key)
+        return self._gen
+
+    def random(self) -> float:
+        return float(self._generator().random())
+
+    def choice(self, candidates, p=None):
+        return self._generator().choice(candidates, p=p)
+
+
+def small_bfs_structure(
+    adj: List[List[Tuple[int, int]]],
+    n: int,
+    source: int,
+    target: Optional[int] = None,
+) -> Tuple[List[int], List[float], List[List[int]]]:
+    """Python BFS bookkeeping ``(dist, sigma, preds)`` for small graphs.
+
+    With ``target`` given the walk stops once the target pops (its level
+    is complete by then); with ``target=None`` the full structure is
+    built, which is what per-source caching wants — both variants agree
+    on every node at depth <= ``dist[target]``.
+    """
+    dist = [-1] * n
+    sigma = [0.0] * n
+    preds: List[List[int]] = [[] for _ in range(n)]
+    dist[source] = 0
+    sigma[source] = 1.0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        if target is not None and v == target:
+            break
+        next_dist = dist[v] + 1
+        for w, _entry in adj[v]:
+            if dist[w] < 0:
+                dist[w] = next_dist
+                queue.append(w)
+            if dist[w] == next_dist:
+                sigma[w] += sigma[v]
+                preds[w].append(v)
+    return dist, sigma, preds
+
+
+def walk_small(
+    dist: List[int],
+    sigma: List[float],
+    preds: List[List[int]],
+    source: int,
+    target: int,
+    path_selection: str,
+    rng,
+) -> Optional[List[int]]:
+    """Backward predecessor walk over :func:`small_bfs_structure` output.
+
+    Returns the path as node indices (source first), or ``None`` when the
+    target is unreachable. ``"random"`` selection draws one uniform per
+    multi-predecessor hop and walks the sigma prefix sums — uniform over
+    all shortest paths (the Eq. 2 equal-split shares).
+    """
+    if dist[target] < 0:
+        return None
+    path = [target]
+    current = target
+    while current != source:
+        options = preds[current]
+        if path_selection == "random" and len(options) > 1:
+            total = sum(sigma[v] for v in options)
+            draw = float(rng.random()) * total
+            chosen = options[-1]
+            for v in options:
+                draw -= sigma[v]
+                if draw <= 0.0:
+                    chosen = v
+                    break
+        else:
+            chosen = options[0]
+        path.append(chosen)
+        current = chosen
+    return path[::-1]
+
+
+def walk_csr(
+    view: GraphView,
+    tree: BfsTree,
+    source: int,
+    target: int,
+    path_selection: str,
+    rng,
+) -> Optional[List[int]]:
+    """Backward predecessor walk over a CSR :class:`BfsTree`.
+
+    The tree may be deeper than the target (a cached full-depth tree):
+    ``dist``/``sigma`` at depths <= ``dist[target]`` are identical to an
+    early-stopped tree, so the sampled path — and the RNG draws it
+    consumes — match exactly.
+    """
+    if tree.dist[target] < 0:
+        return None
+    rev_indptr, rev_indices, _ = view.reverse_adjacency()
+    path = [target]
+    current = target
+    while current != source:
+        preds = rev_indices[rev_indptr[current]:rev_indptr[current + 1]]
+        preds = preds[tree.dist[preds] == tree.dist[current] - 1]
+        if path_selection == "random" and preds.size > 1:
+            sigma = tree.sigma[preds]
+            chosen = int(rng.choice(preds, p=sigma / sigma.sum()))
+        else:
+            chosen = int(preds[0])
+        path.append(chosen)
+        current = chosen
+    return path[::-1]
 
 
 @dataclass(frozen=True)
@@ -98,9 +240,23 @@ class Router:
     # -- route discovery ------------------------------------------------------
 
     def find_route(
-        self, sender: Hashable, receiver: Hashable, amount: float
+        self,
+        sender: Hashable,
+        receiver: Hashable,
+        amount: float,
+        view: Optional[GraphView] = None,
+        rng=None,
     ) -> Route:
         """Shortest feasible route for ``amount`` in the reduced subgraph.
+
+        Args:
+            sender / receiver / amount: the payment intent.
+            view: a pre-built reduced view for ``amount`` (the batched
+                backend injects its masked snapshots here); defaults to
+                ``graph.view(directed=True, reduced=amount)``.
+            rng: tie-break RNG override (e.g. a per-payment
+                :class:`PaymentRouteRng`); defaults to the router's
+                sequential stream.
 
         Raises:
             RoutingError: when sender/receiver are absent or no directed
@@ -108,10 +264,13 @@ class Router:
         """
         if sender == receiver:
             raise RoutingError("sender and receiver must differ")
-        reduced = self.graph.view(directed=True, reduced=amount)
+        reduced = (
+            view if view is not None
+            else self.graph.view(directed=True, reduced=amount)
+        )
         if sender not in reduced or receiver not in reduced:
             raise RoutingError(f"unknown endpoint in route {sender!r}->{receiver!r}")
-        nodes = self._select_path(reduced, sender, receiver, amount)
+        nodes = self._select_path(reduced, sender, receiver, amount, rng=rng)
         hop_amounts = self._hop_amounts(len(nodes) - 1, amount)
         total_fee = hop_amounts[0] - amount
         return Route(tuple(nodes), amount, total_fee)
@@ -122,6 +281,7 @@ class Router:
         sender: Hashable,
         receiver: Hashable,
         amount: float,
+        rng=None,
     ) -> List[Hashable]:
         """One shortest path in the reduced view, as node labels.
 
@@ -132,86 +292,30 @@ class Router:
         count — exactly the equal-split ``m_e(s,r)/m(s,r)`` shares of
         Eq. 2 without enumerating the (possibly exponential) path set.
         """
+        if rng is None:
+            rng = self._rng
         s_idx = reduced.index_of(sender)
         r_idx = reduced.index_of(receiver)
         if reduced.num_nodes < SMALL_GRAPH_NODES:
             # Per-payment python BFS beats numpy call overhead on small
             # graphs (the simulator routes thousands of payments).
-            path_indices = self._select_path_small(reduced, s_idx, r_idx)
+            dist, sigma, preds = small_bfs_structure(
+                reduced.adjacency_lists(), reduced.num_nodes, s_idx,
+                target=r_idx,
+            )
+            path_indices = walk_small(
+                dist, sigma, preds, s_idx, r_idx, self.path_selection, rng
+            )
         else:
-            path_indices = self._select_path_csr(reduced, s_idx, r_idx)
+            tree = bfs_shortest_path_tree(reduced, s_idx, target=r_idx)
+            path_indices = walk_csr(
+                reduced, tree, s_idx, r_idx, self.path_selection, rng
+            )
         if path_indices is None:
             raise RoutingError(
                 f"no path with capacity {amount} from {sender!r} to {receiver!r}"
             )
         return [reduced.nodes[i] for i in path_indices]
-
-    def _select_path_small(
-        self, reduced: GraphView, s_idx: int, r_idx: int
-    ) -> Optional[List[int]]:
-        adj = reduced.adjacency_lists()
-        n = reduced.num_nodes
-        dist = [-1] * n
-        sigma = [0.0] * n
-        preds: List[List[int]] = [[] for _ in range(n)]
-        dist[s_idx] = 0
-        sigma[s_idx] = 1.0
-        queue = deque([s_idx])
-        while queue:
-            v = queue.popleft()
-            if v == r_idx:
-                break
-            next_dist = dist[v] + 1
-            for w, _entry in adj[v]:
-                if dist[w] < 0:
-                    dist[w] = next_dist
-                    queue.append(w)
-                if dist[w] == next_dist:
-                    sigma[w] += sigma[v]
-                    preds[w].append(v)
-        if dist[r_idx] < 0:
-            return None
-        path = [r_idx]
-        current = r_idx
-        while current != s_idx:
-            options = preds[current]
-            if self.path_selection == "random" and len(options) > 1:
-                # Backward sigma-weighted walk = uniform over all
-                # shortest paths (the Eq. 2 equal-split shares).
-                total = sum(sigma[v] for v in options)
-                draw = float(self._rng.random()) * total
-                chosen = options[-1]
-                for v in options:
-                    draw -= sigma[v]
-                    if draw <= 0.0:
-                        chosen = v
-                        break
-            else:
-                chosen = options[0]
-            path.append(chosen)
-            current = chosen
-        return path[::-1]
-
-    def _select_path_csr(
-        self, reduced: GraphView, s_idx: int, r_idx: int
-    ) -> Optional[List[int]]:
-        tree = bfs_shortest_path_tree(reduced, s_idx, target=r_idx)
-        if tree.dist[r_idx] < 0:
-            return None
-        rev_indptr, rev_indices, _ = reduced.reverse_adjacency()
-        path_indices = [r_idx]
-        current = r_idx
-        while current != s_idx:
-            preds = rev_indices[rev_indptr[current]:rev_indptr[current + 1]]
-            preds = preds[tree.dist[preds] == tree.dist[current] - 1]
-            if self.path_selection == "random" and preds.size > 1:
-                sigma = tree.sigma[preds]
-                chosen = int(self._rng.choice(preds, p=sigma / sigma.sum()))
-            else:
-                chosen = int(preds[0])
-            path_indices.append(chosen)
-            current = chosen
-        return path_indices[::-1]
 
     def _hop_amounts(self, hops: int, amount: float) -> List[float]:
         """Amount entering each hop, sender-side first.
@@ -237,6 +341,7 @@ class Router:
         receiver: Hashable,
         amount: float,
         timestamp: float = 0.0,
+        rng=None,
     ) -> PaymentOutcome:
         """Find a route and apply it atomically.
 
@@ -245,7 +350,7 @@ class Router:
         failure nothing changes.
         """
         try:
-            route = self.find_route(sender, receiver, amount)
+            route = self.find_route(sender, receiver, amount, rng=rng)
         except RoutingError as exc:
             return PaymentOutcome(success=False, failure_reason=str(exc))
         hop_amounts = self._hop_amounts(route.hops, amount)

@@ -63,7 +63,16 @@ from .specs import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - lazy at runtime, eager for typing
-    from .runner import ScenarioResult, ScenarioRunner, build_topology
+    from .runner import (
+        ScenarioResult,
+        ScenarioRunner,
+        build_batched_engine,
+        build_engine,
+        build_fee,
+        build_simulation_engine,
+        build_topology,
+        build_workload,
+    )
 
 __all__ = [
     "ALGORITHMS",
@@ -82,7 +91,12 @@ __all__ = [
     "TopologySpec",
     "WORKLOADS",
     "WorkloadSpec",
+    "build_batched_engine",
+    "build_engine",
+    "build_fee",
+    "build_simulation_engine",
     "build_topology",
+    "build_workload",
     "derive_seed",
     "evaluate_grid",
     "grid_points",
@@ -93,7 +107,16 @@ __all__ = [
     "register_workload",
 ]
 
-_LAZY_RUNNER_EXPORTS = ("ScenarioResult", "ScenarioRunner", "build_topology")
+_LAZY_RUNNER_EXPORTS = (
+    "ScenarioResult",
+    "ScenarioRunner",
+    "build_batched_engine",
+    "build_engine",
+    "build_fee",
+    "build_simulation_engine",
+    "build_topology",
+    "build_workload",
+)
 
 
 def __getattr__(name: str):

@@ -1,0 +1,184 @@
+"""Spec -> object factories shared by every scenario execution path.
+
+:class:`~repro.scenarios.runner.ScenarioRunner` and
+:class:`~repro.attacks.runner.AttackRunner` both turn specs into live
+objects — topology graphs, workloads, fee functions, simulation engines.
+This module is the single place that resolution (including seed
+handling) happens, so the two paths cannot drift apart: an attack
+baseline is built by exactly the factory a plain simulation stage uses.
+
+It lives below :mod:`repro.scenarios.runner` in the import graph (no
+provider imports at module level — they load lazily on first build), so
+:mod:`repro.attacks.runner` can import it directly without a cycle.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Optional, Union
+
+from ..errors import ScenarioError
+from ..network.graph import ChannelGraph
+from ..simulation.engine import SimulationEngine
+from ..simulation.fastpath import BatchedSimulationEngine
+from .registry import FEES, TOPOLOGIES, WORKLOADS
+from .specs import Scenario, WorkloadSpec
+
+__all__ = [
+    "build_batched_engine",
+    "build_engine",
+    "build_fee",
+    "build_simulation_engine",
+    "build_topology",
+    "build_workload",
+]
+
+_providers_loaded = False
+
+
+def _ensure_providers() -> None:
+    """Import the builtin provider modules (idempotent, lazy).
+
+    Providers self-register into the plugin registries at import time;
+    deferring the imports to first use keeps this module a dependency
+    leaf, breaking the ``attacks.runner -> factory -> attacks.strategies``
+    cycle that a module-level import would create.
+    """
+    global _providers_loaded
+    if _providers_loaded:
+        return
+    _providers_loaded = True
+    from ..attacks import strategies  # noqa: F401  (jamming, ...)
+    from ..core import algorithms  # noqa: F401  (greedy, ...)
+    from ..equilibrium import topologies  # noqa: F401  (star, path, ...)
+    from ..network import fees  # noqa: F401  (constant, linear, ...)
+    from ..snapshots import io  # noqa: F401  (topology: file)
+    from ..snapshots import synthetic  # noqa: F401  (ba, ...)
+    from ..transactions import workload  # noqa: F401  (poisson)
+
+
+def _accepts_keyword(fn: Callable[..., Any], name: str) -> bool:
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def build_topology(spec, seed: Optional[int] = None) -> ChannelGraph:
+    """Resolve and invoke a topology builder.
+
+    The scenario ``seed`` is forwarded to builders that accept a ``seed``
+    keyword (the synthetic snapshot generators) unless the spec's params
+    already pin one; deterministic builders (star, path, file, ...) are
+    called without it.
+    """
+    _ensure_providers()
+    builder = TOPOLOGIES.get(spec.kind)
+    params = dict(spec.params)
+    if seed is not None and "seed" not in params and _accepts_keyword(builder, "seed"):
+        params["seed"] = seed
+    return builder(**params)
+
+
+def build_workload(scenario: Scenario, graph: ChannelGraph):
+    """Resolve and invoke the scenario's workload builder on ``graph``.
+
+    The scenario seed is injected unless the params pin one, so a given
+    (scenario, graph) pair always produces the same transaction stream.
+    """
+    _ensure_providers()
+    workload_spec = scenario.workload or WorkloadSpec("poisson")
+    workload_builder = WORKLOADS.get(workload_spec.kind)
+    workload_params = dict(workload_spec.params)
+    workload_params.setdefault("seed", scenario.seed)
+    try:
+        return workload_builder(graph, **workload_params)
+    except TypeError as exc:
+        raise ScenarioError(
+            f"workload {workload_spec.kind!r} rejected params "
+            f"{workload_spec.params!r}: {exc}"
+        ) from exc
+
+
+def build_fee(scenario: Scenario):
+    """Resolve the scenario's fee function (``None`` when unspecified)."""
+    if scenario.fee is None:
+        return None
+    _ensure_providers()
+    fee_builder = FEES.get(scenario.fee.kind)
+    try:
+        return fee_builder(**scenario.fee.params)
+    except TypeError as exc:
+        raise ScenarioError(
+            f"fee {scenario.fee.kind!r} rejected params "
+            f"{scenario.fee.params!r}: {exc}"
+        ) from exc
+
+
+def build_engine(scenario: Scenario, graph: ChannelGraph) -> SimulationEngine:
+    """The event-driven :class:`SimulationEngine` for the scenario.
+
+    Raises:
+        ScenarioError: when the scenario has no simulation section or
+            selects a different backend (callers that need the shared
+            event queue — e.g. the attack runner — use this to enforce
+            backend="event" explicitly).
+    """
+    sim = scenario.simulation
+    if sim is None:
+        raise ScenarioError("scenario has no simulation section")
+    if sim.backend != "event":
+        raise ScenarioError(
+            f"build_engine builds the event backend, but the scenario "
+            f"selects backend={sim.backend!r}; use "
+            "build_simulation_engine for backend dispatch"
+        )
+    return SimulationEngine(
+        graph,
+        fee=build_fee(scenario),
+        fee_forwarding=sim.fee_forwarding,
+        path_selection=sim.path_selection,
+        seed=scenario.seed,
+        payment_mode=sim.payment_mode,
+        htlc_hold_mean=sim.htlc_hold_mean,
+        route_rng=sim.route_rng,
+    )
+
+
+def build_batched_engine(
+    scenario: Scenario, graph: ChannelGraph
+) -> BatchedSimulationEngine:
+    """The batched :class:`BatchedSimulationEngine` for the scenario."""
+    sim = scenario.simulation
+    if sim is None:
+        raise ScenarioError("scenario has no simulation section")
+    return BatchedSimulationEngine(
+        graph,
+        fee=build_fee(scenario),
+        fee_forwarding=sim.fee_forwarding,
+        path_selection=sim.path_selection,
+        seed=scenario.seed,
+        payment_mode=sim.payment_mode,
+        route_rng=sim.route_rng,
+    )
+
+
+def build_simulation_engine(
+    scenario: Scenario, graph: ChannelGraph
+) -> Union[SimulationEngine, BatchedSimulationEngine]:
+    """The engine the scenario's ``backend`` selects."""
+    sim = scenario.simulation
+    if sim is None:
+        raise ScenarioError("scenario has no simulation section")
+    if sim.backend == "batched":
+        return build_batched_engine(scenario, graph)
+    return build_engine(scenario, graph)

@@ -21,7 +21,6 @@ self-register their plugins (see :mod:`repro.scenarios.registry`).
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field
 from functools import partial
 from typing import (
@@ -45,14 +44,21 @@ from ..errors import ScenarioError
 from ..network.graph import ChannelGraph
 from ..network.views import GraphView
 from ..params import ModelParameters
-from ..simulation.engine import SimulationEngine
 from ..simulation.metrics import SimulationMetrics
 from ..snapshots import io as _snapshot_io  # noqa: F401  (topology: file)
 from ..snapshots import synthetic  # noqa: F401  (topologies: ba, ...)
 from ..transactions import workload as _workloads  # noqa: F401  (poisson)
+from .factory import (  # noqa: F401  (re-exported: the historical home)
+    build_batched_engine,
+    build_engine,
+    build_fee,
+    build_simulation_engine,
+    build_topology,
+    build_workload,
+)
 from .grid import derive_seed, evaluate_grid, grid_points
-from .registry import ALGORITHMS, FEES, TOPOLOGIES, WORKLOADS
-from .specs import Scenario, SimulationSpec, WorkloadSpec
+from .registry import ALGORITHMS
+from .specs import Scenario, SimulationSpec
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
     from ..attacks.report import AttackReport
@@ -60,91 +66,13 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
 __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
+    "build_batched_engine",
     "build_engine",
     "build_fee",
+    "build_simulation_engine",
     "build_topology",
     "build_workload",
 ]
-
-
-def _accepts_keyword(fn: Callable[..., Any], name: str) -> bool:
-    try:
-        signature = inspect.signature(fn)
-    except (TypeError, ValueError):  # pragma: no cover - builtins
-        return False
-    for parameter in signature.parameters.values():
-        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
-            return True
-        if parameter.name == name and parameter.kind in (
-            inspect.Parameter.POSITIONAL_OR_KEYWORD,
-            inspect.Parameter.KEYWORD_ONLY,
-        ):
-            return True
-    return False
-
-
-def build_topology(spec, seed: Optional[int] = None) -> ChannelGraph:
-    """Resolve and invoke a topology builder.
-
-    The scenario ``seed`` is forwarded to builders that accept a ``seed``
-    keyword (the synthetic snapshot generators) unless the spec's params
-    already pin one; deterministic builders (star, path, file, ...) are
-    called without it.
-    """
-    builder = TOPOLOGIES.get(spec.kind)
-    params = dict(spec.params)
-    if seed is not None and "seed" not in params and _accepts_keyword(builder, "seed"):
-        params["seed"] = seed
-    return builder(**params)
-
-
-def build_workload(scenario: Scenario, graph: ChannelGraph):
-    """Resolve and invoke the scenario's workload builder on ``graph``.
-
-    The scenario seed is injected unless the params pin one, so a given
-    (scenario, graph) pair always produces the same transaction stream.
-    """
-    workload_spec = scenario.workload or WorkloadSpec("poisson")
-    workload_builder = WORKLOADS.get(workload_spec.kind)
-    workload_params = dict(workload_spec.params)
-    workload_params.setdefault("seed", scenario.seed)
-    try:
-        return workload_builder(graph, **workload_params)
-    except TypeError as exc:
-        raise ScenarioError(
-            f"workload {workload_spec.kind!r} rejected params "
-            f"{workload_spec.params!r}: {exc}"
-        ) from exc
-
-
-def build_fee(scenario: Scenario):
-    """Resolve the scenario's fee function (``None`` when unspecified)."""
-    if scenario.fee is None:
-        return None
-    fee_builder = FEES.get(scenario.fee.kind)
-    try:
-        return fee_builder(**scenario.fee.params)
-    except TypeError as exc:
-        raise ScenarioError(
-            f"fee {scenario.fee.kind!r} rejected params "
-            f"{scenario.fee.params!r}: {exc}"
-        ) from exc
-
-
-def build_engine(scenario: Scenario, graph: ChannelGraph) -> SimulationEngine:
-    """A :class:`SimulationEngine` configured from the scenario's specs."""
-    sim = scenario.simulation
-    if sim is None:
-        raise ScenarioError("scenario has no simulation section")
-    return SimulationEngine(
-        graph,
-        fee=build_fee(scenario),
-        fee_forwarding=sim.fee_forwarding,
-        path_selection=sim.path_selection,
-        seed=scenario.seed,
-        payment_mode=sim.payment_mode,
-        htlc_hold_mean=sim.htlc_hold_mean,
-    )
 
 
 @dataclass
@@ -294,6 +222,9 @@ class ScenarioRunner:
     ) -> SimulationMetrics:
         sim: SimulationSpec = scenario.simulation  # type: ignore[assignment]
         workload = build_workload(scenario, graph)
+        if sim.backend == "batched":
+            engine = build_batched_engine(scenario, graph)
+            return engine.run_trace(list(workload.generate(sim.horizon)))
         engine = build_engine(scenario, graph)
         engine.schedule_workload(workload, horizon=sim.horizon)
         return engine.run()

@@ -203,10 +203,20 @@ class AlgorithmSpec(_PluginSpec):
 
 @dataclass(frozen=True)
 class SimulationSpec:
-    """Discrete-event simulator settings (no plugin key — one engine).
+    """Simulator settings (no plugin key — two interchangeable backends).
 
     Attributes mirror :class:`~repro.simulation.engine.SimulationEngine`
-    and its ``schedule_workload`` horizon.
+    and its ``schedule_workload`` horizon. ``backend`` selects the
+    execution engine: ``"event"`` is the discrete-event loop;
+    ``"batched"`` is the vectorised fast path
+    (:class:`~repro.simulation.fastpath.BatchedSimulationEngine`), which
+    produces the same metrics for the same seed but only supports
+    ``payment_mode="instant"``. ``route_rng`` picks how path-sampling
+    randomness is derived: ``"stream"`` draws from one sequential RNG
+    (the historical behaviour), ``"payment"`` derives an independent RNG
+    per payment from ``(seed, payment index)``, which makes results
+    invariant under trace sharding (see
+    :class:`~repro.simulation.sharding.ShardedTraceRunner`).
     """
 
     horizon: float = 100.0
@@ -214,6 +224,8 @@ class SimulationSpec:
     htlc_hold_mean: float = 0.1
     fee_forwarding: bool = True
     path_selection: str = "random"
+    backend: str = "event"
+    route_rng: str = "stream"
 
     def __post_init__(self) -> None:
         for name in ("horizon", "htlc_hold_mean"):
@@ -226,6 +238,22 @@ class SimulationSpec:
             raise ScenarioError(
                 f"SimulationSpec.horizon must be > 0, got {self.horizon}"
             )
+        if self.backend not in ("event", "batched"):
+            raise ScenarioError(
+                f"SimulationSpec.backend must be 'event' or 'batched', "
+                f"got {self.backend!r}"
+            )
+        if self.route_rng not in ("stream", "payment"):
+            raise ScenarioError(
+                f"SimulationSpec.route_rng must be 'stream' or 'payment', "
+                f"got {self.route_rng!r}"
+            )
+        if self.backend == "batched" and self.payment_mode != "instant":
+            raise ScenarioError(
+                "the batched backend supports payment_mode='instant' only; "
+                "HTLC hold semantics need the event queue "
+                "(backend='event')"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -234,6 +262,8 @@ class SimulationSpec:
             "htlc_hold_mean": self.htlc_hold_mean,
             "fee_forwarding": self.fee_forwarding,
             "path_selection": self.path_selection,
+            "backend": self.backend,
+            "route_rng": self.route_rng,
         }
 
     @classmethod
@@ -284,6 +314,12 @@ class Scenario:
                 raise ScenarioError(
                     "an attack stage requires a simulation stage (the "
                     "honest workload the attacker disrupts)"
+                )
+            if self.simulation.backend != "event":
+                raise ScenarioError(
+                    "attack stages require simulation backend='event': "
+                    "strategies inject events into the shared queue, which "
+                    "the batched backend does not have"
                 )
             if self.algorithm is not None:
                 raise ScenarioError(

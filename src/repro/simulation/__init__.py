@@ -1,4 +1,13 @@
-"""Discrete-event payment simulation over channel graphs."""
+"""Payment simulation over channel graphs: event-driven and batched.
+
+Two interchangeable backends produce identical metrics for identical
+seeds: :class:`SimulationEngine` (the discrete-event queue — supports
+HTLC holds, mid-run topology changes, and adversarial event injection)
+and :class:`BatchedSimulationEngine` (the vectorised fast path for
+instant-mode payment traces). :class:`ShardedTraceRunner` splits a trace
+into component-disjoint shards and runs them on worker processes,
+merging metrics exactly.
+"""
 
 from .engine import SimulationEngine
 from .events import (
@@ -8,14 +17,19 @@ from .events import (
     EventQueue,
     PaymentEvent,
 )
+from .fastpath import BatchedSimulationEngine, FastpathStats
 from .metrics import SimulationMetrics
+from .sharding import ShardedTraceRunner
 
 __all__ = [
+    "BatchedSimulationEngine",
     "ChannelCloseEvent",
     "ChannelOpenEvent",
     "Event",
     "EventQueue",
+    "FastpathStats",
     "PaymentEvent",
+    "ShardedTraceRunner",
     "SimulationEngine",
     "SimulationMetrics",
 ]

@@ -18,7 +18,7 @@ from ..errors import RoutingError, SimulationError
 from ..network.fees import FeeFunction
 from ..network.graph import ChannelGraph
 from ..network.htlc import HtlcRouter, HtlcState
-from ..network.routing import Router
+from ..network.routing import PaymentRouteRng, Router
 from ..transactions.workload import PoissonWorkload, Transaction
 from .events import (
     ChannelCloseEvent,
@@ -50,6 +50,10 @@ class SimulationEngine:
             concurrent payments contend for in-flight capital — the
             opportunity-cost effect of Section II-C made concrete.
         htlc_hold_mean: mean lock duration in ``"htlc"`` mode.
+        route_rng: ``"stream"`` draws path tie-breaks from one sequential
+            RNG (historical behaviour); ``"payment"`` derives an
+            independent RNG per payment from ``(seed, payment index)``,
+            making each routing decision invariant under trace sharding.
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class SimulationEngine:
         seed: Optional[int] = 0,
         payment_mode: str = "instant",
         htlc_hold_mean: float = 0.1,
+        route_rng: str = "stream",
     ) -> None:
         if payment_mode not in ("instant", "htlc"):
             raise SimulationError(
@@ -68,6 +73,10 @@ class SimulationEngine:
             )
         if htlc_hold_mean <= 0:
             raise SimulationError("htlc_hold_mean must be > 0")
+        if route_rng not in ("stream", "payment"):
+            raise SimulationError(
+                f"route_rng must be 'stream' or 'payment', got {route_rng!r}"
+            )
         self.graph = graph
         self.router = Router(
             graph, fee=fee, fee_forwarding=fee_forwarding,
@@ -75,6 +84,11 @@ class SimulationEngine:
         )
         self.payment_mode = payment_mode
         self.htlc_hold_mean = htlc_hold_mean
+        self.route_rng = route_rng
+        self._route_base = (
+            seed % (2 ** 63) if seed is not None
+            else int(np.random.SeedSequence().entropy % (2 ** 63))
+        )
         self._htlc_router = HtlcRouter(graph, fee=fee)
         self._pending_htlcs = {}
         self._hold_rng = np.random.default_rng(
@@ -83,6 +97,7 @@ class SimulationEngine:
         self.metrics = SimulationMetrics()
         self._queue = EventQueue()
         self._now = 0.0
+        self._payment_seq = 0
         self._handlers: Dict[Type[Event], Callable[[Event], None]] = {}
 
     @property
@@ -129,29 +144,38 @@ class SimulationEngine:
 
         Returns the number of payment events scheduled.
         """
-        count = 0
-        for tx in workload.generate(horizon):
-            self.schedule(
-                PaymentEvent(
-                    time=tx.time,
-                    sender=tx.sender,
-                    receiver=tx.receiver,
-                    amount=tx.amount,
-                )
-            )
-            count += 1
-        return count
+        return self.schedule_transactions(workload.generate(horizon))
 
-    def schedule_transactions(self, transactions: Iterable[Transaction]) -> int:
-        """Schedule an explicit (pre-generated) transaction trace."""
+    def schedule_transactions(
+        self,
+        transactions: Iterable[Transaction],
+        indices: Optional[Iterable[int]] = None,
+    ) -> int:
+        """Schedule an explicit (pre-generated) transaction trace.
+
+        Payments are stamped with consecutive trace indices (the
+        ``route_rng="payment"`` key); ``indices`` overrides them — trace
+        shards pass the payments' positions in the *full* trace so a
+        shard routes exactly like the unsharded run.
+        """
         count = 0
+        index_iter = iter(indices) if indices is not None else None
         for tx in transactions:
+            if index_iter is not None:
+                index = next(index_iter)
+                # Keep later default-stamped payments from reusing an
+                # explicitly-taken index (duplicate per-payment RNGs).
+                self._payment_seq = max(self._payment_seq, index + 1)
+            else:
+                index = self._payment_seq
+                self._payment_seq += 1
             self.schedule(
                 PaymentEvent(
                     time=tx.time,
                     sender=tx.sender,
                     receiver=tx.receiver,
                     amount=tx.amount,
+                    index=index,
                 )
             )
             count += 1
@@ -197,11 +221,26 @@ class SimulationEngine:
                 )
             handler(event)
 
+    def _payment_rng(self, event: PaymentEvent) -> Optional[PaymentRouteRng]:
+        """The event's route RNG: ``None`` = the router's shared stream.
+
+        Ad-hoc events (``index == -1``) draw the next engine-local index,
+        so directly-scheduled payments stay deterministic too.
+        """
+        if self.route_rng != "payment":
+            return None
+        index = event.index
+        if index < 0:
+            index = self._payment_seq
+            self._payment_seq += 1
+        return PaymentRouteRng(self._route_base, index)
+
     def _handle_payment(self, event: PaymentEvent) -> None:
         metrics = self.metrics
         metrics.attempted += 1
         outcome = self.router.execute(
-            event.sender, event.receiver, event.amount, timestamp=event.time
+            event.sender, event.receiver, event.amount, timestamp=event.time,
+            rng=self._payment_rng(event),
         )
         if not outcome.success:
             metrics.failed += 1
@@ -225,7 +264,8 @@ class SimulationEngine:
         metrics.attempted += 1
         try:
             route = self.router.find_route(
-                event.sender, event.receiver, event.amount
+                event.sender, event.receiver, event.amount,
+                rng=self._payment_rng(event),
             )
         except RoutingError as exc:
             metrics.failed += 1

@@ -34,11 +34,21 @@ class Event:
 
 @dataclass(frozen=True)
 class PaymentEvent(Event):
-    """A payment intent entering the network."""
+    """A payment intent entering the network.
+
+    ``index`` is the payment's position in the scheduled trace (stamped
+    by ``schedule_workload`` / ``schedule_transactions``); ``-1`` marks
+    an ad-hoc event scheduled outside a trace. Under
+    ``route_rng="payment"`` the engine derives the payment's
+    path-sampling RNG from it, so routing decisions are independent of
+    which other payments share the run (the property trace sharding
+    relies on).
+    """
 
     sender: Hashable = None
     receiver: Hashable = None
     amount: float = 0.0
+    index: int = -1
 
 
 @dataclass(frozen=True)

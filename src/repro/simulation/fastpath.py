@@ -1,0 +1,762 @@
+"""The batched simulation backend: vectorised epochs over view arrays.
+
+The event engine pays two per-payment python costs that dominate large
+runs: rebuilding the reduced :class:`~repro.network.views.GraphView`
+after every successful payment (an O(channels) python loop) and
+re-running BFS from scratch for every payment.
+:class:`BatchedSimulationEngine` removes both while producing *exactly*
+the same result:
+
+* the full directed view is frozen **once**; balances live in one
+  mutable float array indexed by CSR entry, and the reduced subgraph for
+  a payment of size ``x`` is the boolean mask ``balances >= x`` — no
+  python per-channel loop, ever;
+* payments are processed in **epochs** — windows over which the reduced
+  mask per amount threshold and the BFS shortest-path structure per
+  (source, amount) pair are cached, so payments from the same sender
+  reuse each other's BFS work;
+* every balance update is logged, and cached state is only reused while
+  it is *provably* identical to what the event engine would compute.
+  A balance crossing an amount threshold (a **flip**) updates that
+  amount's mask incrementally; a cached tree survives a flip unless the
+  flipped edge interacts with its shortest-path DAG (an edge whose
+  removal was not a DAG edge, or whose addition cannot create or
+  shorten a shortest path, provably leaves ``dist``/``sigma``/the
+  predecessor sets unchanged). Only a payment whose tree is actually
+  invalidated — a **conflict** — pays for a fresh exact BFS;
+* routing decisions therefore match the event engine payment for
+  payment, including the RNG draws of ``path_selection="random"``,
+  which go through the same walk code in the same trace order;
+* per-node metrics accumulate into arrays (scatter-adds) and convert to
+  the dict form of :class:`SimulationMetrics` once, at the end; final
+  balances are written back to the channels once, at the end.
+
+The backend supports ``payment_mode="instant"`` over simple graphs (no
+parallel channels) and traces of payments only. HTLC holds, mid-run
+channel open/close, and attack-strategy event injection need the event
+queue — use ``backend="event"`` for those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..network.fees import FeeFunction
+from ..network.graph import ChannelGraph
+from ..network.routing import (
+    PaymentRouteRng,
+    Router,
+    small_bfs_structure,
+    walk_small,
+)
+from ..network.views import (
+    SMALL_GRAPH_NODES,
+    GraphView,
+    expand_frontier,
+)
+from ..transactions.workload import (
+    SELF_PAIR,
+    UNKNOWN_ENDPOINT,
+    TraceArrays,
+    Transaction,
+)
+from .metrics import SimulationMetrics
+
+__all__ = ["BatchedSimulationEngine", "FastpathStats"]
+
+#: Default payments per epoch (the cache-flush window). Epochs are
+#: purely an optimisation boundary — results are identical for any
+#: size; they bound the masked-state caches and the update log. The
+#: default is large because flushes are expensive (every cached BFS
+#: structure rebuilds) while the incremental log validation stays
+#: cheap; memory stays modest (~tens of MB at n=1000).
+DEFAULT_EPOCH_SIZE = 65536
+
+#: Masked snapshots cached at once; the least-recently-used amount's
+#: snapshot is evicted beyond this (a workload with continuously-
+#: distributed amounts would otherwise accumulate one per distinct
+#: amount).
+MAX_MASKED_STATES = 64
+
+
+@dataclass
+class FastpathStats:
+    """Counters describing how the batched backend earned its speedup."""
+
+    payments: int = 0
+    epochs: int = 0
+    #: Payments whose cached BFS structure was invalidated by a balance
+    #: flip interacting with its shortest-path DAG (the exact-fallback
+    #: path: a fresh BFS is built from current state).
+    conflicts: int = 0
+    tree_builds: int = 0
+    tree_hits: int = 0
+    mask_builds: int = 0
+
+
+class _MaskedState:
+    """The reduced subgraph for one amount threshold, kept current.
+
+    ``keep`` is the per-entry feasibility mask, updated incrementally as
+    the balance log is replayed; the flip buffers record every observed
+    mask change so cached trees can check exactly which flips happened
+    since they were built.
+    """
+
+    __slots__ = ("amount", "keep", "log_pos", "flip_entries",
+                 "flip_feasible", "flips_len", "trees")
+
+    def __init__(self, amount: float, keep: np.ndarray) -> None:
+        self.amount = amount
+        self.keep = keep
+        self.log_pos = 0
+        self.flip_entries = np.empty(256, dtype=np.int64)
+        self.flip_feasible = np.empty(256, dtype=bool)
+        self.flips_len = 0
+        #: source index -> (structure, flip-log position at build time)
+        self.trees: Dict[int, Tuple[object, int]] = {}
+
+    def record_flips(self, entries: np.ndarray, feasible: np.ndarray) -> None:
+        needed = self.flips_len + entries.shape[0]
+        if needed > self.flip_entries.shape[0]:
+            size = max(needed, 2 * self.flip_entries.shape[0])
+            self.flip_entries = np.concatenate(
+                [self.flip_entries, np.empty(size, dtype=np.int64)]
+            )
+            self.flip_feasible = np.concatenate(
+                [self.flip_feasible, np.empty(size, dtype=bool)]
+            )
+        self.flip_entries[self.flips_len:needed] = entries
+        self.flip_feasible[self.flips_len:needed] = feasible
+        self.flips_len = needed
+
+
+class BatchedSimulationEngine:
+    """Drives a pre-generated payment trace in vectorised epochs.
+
+    Constructor arguments mirror :class:`SimulationEngine` so the two
+    backends are interchangeable behind
+    :class:`~repro.scenarios.specs.SimulationSpec`; ``epoch_size`` and
+    the ``stats`` attribute are fastpath-specific.
+    """
+
+    def __init__(
+        self,
+        graph: ChannelGraph,
+        fee: Optional[FeeFunction] = None,
+        fee_forwarding: bool = True,
+        path_selection: str = "random",
+        seed: Optional[int] = 0,
+        payment_mode: str = "instant",
+        route_rng: str = "stream",
+        epoch_size: int = DEFAULT_EPOCH_SIZE,
+    ) -> None:
+        if payment_mode != "instant":
+            raise SimulationError(
+                "the batched backend supports payment_mode='instant' only; "
+                "HTLC hold semantics need the event queue (use the event "
+                "backend)"
+            )
+        if route_rng not in ("stream", "payment"):
+            raise SimulationError(
+                f"route_rng must be 'stream' or 'payment', got {route_rng!r}"
+            )
+        if epoch_size < 1:
+            raise SimulationError(
+                f"epoch_size must be >= 1, got {epoch_size}"
+            )
+        self.graph = graph
+        # One Router, configured exactly like the event engine's: it owns
+        # the fee schedule (_hop_amounts) and — in "stream" mode — the
+        # sequential tie-break RNG whose draw order the fastpath
+        # reproduces.
+        self.router = Router(
+            graph, fee=fee, fee_forwarding=fee_forwarding,
+            path_selection=path_selection, seed=seed,
+        )
+        self.payment_mode = payment_mode
+        self.route_rng = route_rng
+        self.epoch_size = epoch_size
+        self._route_base = (
+            seed % (2 ** 63) if seed is not None
+            else int(np.random.SeedSequence().entropy % (2 ** 63))
+        )
+        self.metrics = SimulationMetrics()
+        self.stats = FastpathStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def run_trace(
+        self, trace: Union[TraceArrays, Sequence[Transaction]]
+    ) -> SimulationMetrics:
+        """Process every payment of ``trace`` and return the metrics.
+
+        Accepts either :class:`TraceArrays` or a transaction sequence
+        (columnised internally against the graph's node order). Repeated
+        calls accumulate into the same metrics, like scheduling more
+        events on the event engine; each call re-freezes the graph, so
+        mutations between calls are picked up.
+        """
+        view = self.graph.view(directed=True)
+        for channels in view.pair_channels:
+            if len(channels) > 1:
+                raise SimulationError(
+                    "the batched backend requires a simple channel graph; "
+                    f"parallel channels {channels} found (use the event "
+                    "backend)"
+                )
+        for channel in self.graph.channels:
+            if channel._history is not None:
+                # The event engine appends a PaymentRecord per hop; the
+                # batched backend only writes final balances — refuse
+                # rather than silently return an empty audit trail.
+                raise SimulationError(
+                    "the batched backend does not record per-payment "
+                    f"channel history (channel {channel.channel_id!r} has "
+                    "record_history=True); use the event backend"
+                )
+        trace = self._columnise(trace, view)
+        if len(trace) > 1 and bool((np.diff(trace.times) < 0).any()):
+            # The event queue would reorder these; the batched loop will
+            # not — refuse rather than silently diverge.
+            raise SimulationError(
+                "batched traces must be time-ordered (the event engine "
+                "sorts its queue; the batched backend replays in order)"
+            )
+        run = _TraceRun(self, view, trace)
+        run.execute()
+        run.finalize()
+        if len(trace):
+            self.metrics.horizon = float(trace.times[-1])
+        return self.metrics
+
+    # -- helpers --------------------------------------------------------------
+
+    def _columnise(
+        self, trace: Union[TraceArrays, Sequence[Transaction]], view: GraphView
+    ) -> TraceArrays:
+        if not isinstance(trace, TraceArrays):
+            return TraceArrays.from_transactions(list(trace), view.nodes)
+        if trace.nodes == view.nodes:
+            return trace
+        # Node orders diverge (e.g. a trace generated against another
+        # graph instance): re-columnise through the row form.
+        return TraceArrays.from_transactions(
+            trace.to_transactions(), view.nodes
+        )
+
+    def _payment_rng(self, index: int):
+        if self.route_rng != "payment":
+            return self.router._rng
+        return PaymentRouteRng(self._route_base, index)
+
+
+#: "No invalidating flip yet" sentinel for :attr:`_PartialTree.valid_depth`.
+_DEPTH_INTACT = 1 << 62
+
+
+class _PartialTree:
+    """A target-early-stopped, resumable masked BFS.
+
+    ``dist``/``sigma`` are exact for every node at depth <= ``level``
+    (the last *completed* BFS level); ``frontier`` holds the
+    yet-unexpanded nodes of that level, so a later payment needing a
+    deeper target just continues the BFS instead of starting over.
+    ``complete`` marks an exhausted search (unreached nodes are then
+    genuinely unreachable).
+
+    ``valid_depth`` is the invalidation watermark: mask flips since the
+    build that interact with the shortest-path DAG shrink it to the flip
+    edge's source depth, leaving all shallower levels provably exact —
+    a payment whose target sits at depth <= ``valid_depth`` still walks
+    this tree bit-for-bit identically to a fresh build.
+    """
+
+    __slots__ = (
+        "dist", "sigma", "frontier", "level", "complete", "valid_depth",
+    )
+
+    def __init__(self, n: int, source: int) -> None:
+        self.dist = np.full(n, -1, dtype=np.int64)
+        self.sigma = np.zeros(n, dtype=np.float64)
+        self.dist[source] = 0
+        self.sigma[source] = 1.0
+        self.frontier = np.array([source], dtype=np.int64)
+        self.level = 0
+        self.complete = False
+        self.valid_depth = _DEPTH_INTACT
+
+    def expand(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        keep: np.ndarray,
+        target: int,
+    ) -> None:
+        """Run BFS levels until ``target`` is reached (or exhaustion).
+
+        Mirrors :func:`~repro.network.views.bfs_shortest_path_tree` on
+        the materialised reduced view — the ``keep`` filter sees edges
+        in the same order the reduced CSR would, so the per-level
+        bincounts accumulate ``sigma`` identically.
+        """
+        if self.complete or self.dist[target] >= 0:
+            return
+        dist = self.dist
+        sigma = self.sigma
+        n = dist.shape[0]
+        frontier = self.frontier
+        level = self.level
+        seen = np.zeros(n, dtype=bool)
+        while frontier.size:
+            srcs, entries, targets = expand_frontier(indptr, indices, frontier)
+            if targets.size:
+                kept = keep[entries]
+                srcs = srcs[kept]
+                targets = targets[kept]
+            if targets.size == 0:
+                break
+            fresh = targets[dist[targets] < 0]
+            if fresh.size:
+                dist[fresh] = level + 1
+            tree = dist[targets] == level + 1
+            if not tree.any():
+                break
+            sigma += np.bincount(
+                targets[tree], weights=sigma[srcs[tree]], minlength=n
+            )
+            if fresh.size:
+                seen[:] = False
+                seen[fresh] = True
+                frontier = np.nonzero(seen)[0]
+            else:
+                frontier = fresh
+            level += 1
+            if dist[target] == level:
+                self.frontier = frontier
+                self.level = level
+                return
+        self.frontier = np.zeros(0, dtype=np.int64)
+        self.level = level
+        self.complete = True
+
+
+class _TraceRun:
+    """Mutable state of one ``run_trace`` call."""
+
+    def __init__(
+        self, engine: BatchedSimulationEngine, view: GraphView,
+        trace: TraceArrays,
+    ) -> None:
+        self.engine = engine
+        self.view = view
+        self.trace = trace
+        self.n = view.num_nodes
+        self.m = view.num_entries
+        self.small = self.n < SMALL_GRAPH_NODES
+        # Mutable balance state, updated with the same float ops (and in
+        # the same order) as the event engine's Channel.send calls.
+        self.balances = view.balances.copy()
+        self.entry_rows = view.entry_rows()
+        self.rev_entry = self._reverse_entries(view)
+        if self.small:
+            self.full_adj = view.adjacency_lists()
+        else:
+            rev_indptr, rev_indices, rev_order = view.reverse_adjacency()
+            self.rev_indptr = rev_indptr
+            self.rev_indices = rev_indices
+            self.rev_order = rev_order
+        # Per-node metric accumulators; *_touched tracks which nodes the
+        # event engine would have created dict entries for (it records
+        # zero-fee entries too).
+        self.revenue = np.zeros(self.n, dtype=np.float64)
+        self.revenue_touched = np.zeros(self.n, dtype=bool)
+        self.fees_paid = np.zeros(self.n, dtype=np.float64)
+        self.fees_touched = np.zeros(self.n, dtype=bool)
+        self.sent = np.zeros(self.n, dtype=np.int64)
+        self.received = np.zeros(self.n, dtype=np.int64)
+        self.edge_traffic = np.zeros(self.m, dtype=np.int64)
+        # Epoch state: the balance-update log and the masked snapshots
+        # validated against it.
+        self.log = np.empty(4096, dtype=np.int64)
+        self.log_len = 0
+        self.masks: Dict[float, _MaskedState] = {}
+        self.epoch_payments = 0
+
+    @staticmethod
+    def _reverse_entries(view: GraphView) -> np.ndarray:
+        """Entry index of every entry's opposite direction.
+
+        An unreduced directed view always carries both orientations of a
+        pair, so the lookup is total.
+        """
+        n = view.num_nodes
+        keys = view.entry_rows() * n + view.indices
+        rev_keys = view.indices * n + view.entry_rows()
+        return np.searchsorted(keys, rev_keys).astype(np.int64)
+
+    # -- epoch / cache machinery ----------------------------------------------
+
+    def _flush_epoch(self) -> None:
+        self.masks.clear()
+        self.log_len = 0
+        self.epoch_payments = 0
+        self.engine.stats.epochs += 1
+
+    def _log_update(self, entry: int) -> None:
+        if self.log_len == self.log.shape[0]:
+            self.log = np.concatenate(
+                [self.log, np.empty(self.log.shape[0], dtype=np.int64)]
+            )
+        self.log[self.log_len] = entry
+        self.log_len += 1
+
+    def _masked_state(self, amount: float) -> _MaskedState:
+        """The current reduced mask for ``amount`` (built or replayed).
+
+        Replaying the update log keeps ``keep`` equal to
+        ``balances >= amount`` and records every flip, so cached trees
+        know exactly which mask changes happened since they were built.
+        """
+        state = self.masks.get(amount)
+        if state is None:
+            if len(self.masks) >= MAX_MASKED_STATES:
+                # Evict only the least-recently-used amount's snapshot
+                # (hot senders' trees for other amounts stay cached);
+                # the shared log is bounded by the normal epoch flush.
+                self.masks.pop(next(iter(self.masks)))
+            state = _MaskedState(amount, self.balances >= amount)
+            state.log_pos = self.log_len
+            self.masks[amount] = state
+            self.engine.stats.mask_builds += 1
+            return state
+        # Re-insert on access: dict order doubles as the LRU order.
+        self.masks.pop(amount)
+        self.masks[amount] = state
+        if state.log_pos < self.log_len:
+            entries = self.log[state.log_pos:self.log_len]
+            feasible = self.balances[entries] >= amount
+            flipped = feasible != state.keep[entries]
+            if flipped.any():
+                flip_entries = entries[flipped]
+                state.keep[flip_entries] = feasible[flipped]
+                state.record_flips(flip_entries, feasible[flipped])
+            state.log_pos = self.log_len
+        return state
+
+    def _structure(self, state: _MaskedState, source: int, target: int):
+        """A BFS structure from ``source`` over ``state``'s mask, exact
+        for the *current* balances and deep enough to place ``target``.
+
+        A cached structure is reused while the walk's region is provably
+        identical to a fresh build: mask flips that interact with the
+        shortest-path DAG shrink the tree's ``valid_depth`` watermark to
+        the flip's source depth (shallower levels cannot be affected —
+        any path through the flipped edge is longer); a payment whose
+        target sits within the watermark walks the cached tree, deeper
+        or unreached targets trigger a resume (partial trees whose
+        frontier is intact) or an exact rebuild.
+        """
+        stats = self.engine.stats
+        cached = state.trees.get(source)
+        flips = state.flips_len
+        if cached is not None:
+            structure, built_at = cached
+            if self.small:
+                if built_at == flips or self._small_tree_valid(
+                    structure, state, built_at
+                ):
+                    state.trees[source] = (structure, flips)
+                    stats.tree_hits += 1
+                    return structure
+            else:
+                if built_at < flips:
+                    self._shrink_valid_depth(structure, state, built_at)
+                    state.trees[source] = (structure, flips)
+                depth = int(structure.dist[target])
+                if 0 <= depth <= structure.valid_depth:
+                    stats.tree_hits += 1
+                    return structure
+                if depth < 0 and structure.complete \
+                        and structure.valid_depth == _DEPTH_INTACT:
+                    # Unreachability is a whole-graph verdict: it only
+                    # survives if no flip touched the DAG at all.
+                    stats.tree_hits += 1
+                    return structure
+                if (
+                    not structure.complete
+                    and depth < 0
+                    and structure.valid_depth >= structure.level
+                ):
+                    # The explored region and its frontier are intact:
+                    # resuming with the current mask yields exactly a
+                    # fresh build, and incorporates every deep flip.
+                    structure.expand(
+                        self.view.indptr, self.view.indices, state.keep,
+                        target,
+                    )
+                    structure.valid_depth = _DEPTH_INTACT
+                    state.trees[source] = (structure, flips)
+                    stats.tree_hits += 1
+                    return structure
+            stats.conflicts += 1
+        if self.small:
+            adj = [
+                [pair for pair in row if state.keep[pair[1]]]
+                for row in self.full_adj
+            ]
+            structure = small_bfs_structure(adj, self.n, source)
+        else:
+            structure = _PartialTree(self.n, source)
+            structure.expand(
+                self.view.indptr, self.view.indices, state.keep, target
+            )
+        state.trees[source] = (structure, flips)
+        stats.tree_builds += 1
+        return structure
+
+    def _small_tree_valid(
+        self, structure, state: _MaskedState, built_at: int
+    ) -> bool:
+        """Do the flips since ``built_at`` leave the full structure exact?
+
+        The python-branch twin of :meth:`_shrink_valid_depth`, boolean
+        because small-graph rebuilds are cheap: an added edge ``u -> v``
+        invalidates iff it creates or shortens a shortest path
+        (``dist[v] < 0`` or ``dist[v] >= dist[u] + 1``); a removed one
+        iff it was a DAG edge (``dist[v] == dist[u] + 1``). Edges out of
+        an unreachable ``u`` cannot matter until an invalidating flip
+        connects ``u`` first.
+        """
+        entries = state.flip_entries[built_at:state.flips_len]
+        feasible = state.flip_feasible[built_at:state.flips_len]
+        dist, _sigma, _preds = structure
+        rows = self.entry_rows
+        indices = self.view.indices
+        for entry, now_feasible in zip(entries, feasible):
+            du = dist[int(rows[entry])]
+            dv = dist[int(indices[entry])]
+            if du < 0:
+                continue
+            if now_feasible:
+                if dv < 0 or dv >= du + 1:
+                    return False
+            elif dv == du + 1:
+                return False
+        return True
+
+    def _shrink_valid_depth(
+        self, structure: "_PartialTree", state: _MaskedState, built_at: int
+    ) -> None:
+        """Fold the flips since ``built_at`` into ``valid_depth``.
+
+        A flip on edge ``u -> v`` can only alter shortest paths of
+        length >= ``dist[u] + 1`` (every path through the edge enters
+        ``u`` first), so levels <= ``dist[u]`` stay exact — the
+        watermark drops to the minimum such ``dist[u]`` over the
+        DAG-interacting flips: additions that reach a new node or
+        satisfy ``dist[v] >= dist[u] + 1``, and removals of DAG edges
+        (``dist[v] == dist[u] + 1``). For partial trees, additions out
+        of the unexpanded frontier level are excluded — resumption
+        expands with the current mask anyway.
+        """
+        entries = state.flip_entries[built_at:state.flips_len]
+        feasible = state.flip_feasible[built_at:state.flips_len]
+        dist = structure.dist
+        du = dist[self.entry_rows[entries]]
+        dv = dist[self.view.indices[entries]]
+        explored = du >= 0
+        if structure.complete:
+            inner = explored
+        else:
+            inner = du < structure.level
+        invalid_add = feasible & explored & (
+            ((dv >= 0) & (dv >= du + 1)) | ((dv < 0) & inner)
+        )
+        invalid_remove = ~feasible & explored & (dv == du + 1)
+        invalid = invalid_add | invalid_remove
+        if invalid.any():
+            structure.valid_depth = min(
+                structure.valid_depth, int(du[invalid].min())
+            )
+
+    # -- payment processing ---------------------------------------------------
+
+    def execute(self) -> None:
+        engine = self.engine
+        metrics = engine.metrics
+        trace = self.trace
+        if len(trace):
+            engine.stats.epochs += 1
+        senders = trace.senders
+        receivers = trace.receivers
+        amounts = trace.amounts
+        indices = trace.indices
+        for pos in range(len(trace)):
+            if self.epoch_payments >= engine.epoch_size:
+                self._flush_epoch()
+            self.epoch_payments += 1
+            engine.stats.payments += 1
+            metrics.attempted += 1
+            s = int(senders[pos])
+            r = int(receivers[pos])
+            if s == SELF_PAIR or s == r:
+                # Event order: the sender==receiver check precedes the
+                # endpoint check, and classifies as "other".
+                metrics.failed += 1
+                metrics.failure_reasons["other"] += 1
+                continue
+            if s == UNKNOWN_ENDPOINT or r == UNKNOWN_ENDPOINT:
+                metrics.failed += 1
+                metrics.failure_reasons["unknown-endpoint"] += 1
+                continue
+            self._process(s, r, float(amounts[pos]), int(indices[pos]))
+
+    def _process(self, s: int, r: int, amount: float, index: int) -> None:
+        engine = self.engine
+        metrics = engine.metrics
+        state = self._masked_state(amount)
+        structure = self._structure(state, s, r)
+        rng = engine._payment_rng(index)
+        selection = engine.router.path_selection
+        if self.small:
+            dist, sigma, preds = structure
+            path = walk_small(dist, sigma, preds, s, r, selection, rng)
+        else:
+            path = self._walk_masked(state, structure, s, r, selection, rng)
+        if path is None:
+            metrics.failed += 1
+            metrics.failure_reasons["no-capacity-path"] += 1
+            return
+        hops = len(path) - 1
+        hop_amounts = engine.router._hop_amounts(hops, amount)
+        entries = [
+            self.view.entry_between(path[i], path[i + 1])
+            for i in range(hops)
+        ]
+        for entry, hop_amount in zip(entries, hop_amounts):
+            if self.balances[entry] < hop_amount:
+                # The aggregate route was feasible at `amount` but a hop
+                # cannot carry amount+fees — the event engine's
+                # "no single channel" execute failure.
+                metrics.failed += 1
+                metrics.failure_reasons["split-balance"] += 1
+                return
+        self._apply(s, r, amount, path, entries, hop_amounts)
+
+    def _walk_masked(
+        self, state: _MaskedState, tree: "_PartialTree", source: int,
+        target: int, selection: str, rng,
+    ) -> Optional[List[int]]:
+        """Backward predecessor walk using the full-view reverse
+        adjacency filtered by the mask.
+
+        The full reverse rows are sorted by source index, so filtering by
+        ``keep`` yields the predecessors in exactly the order a reduced
+        view's reverse adjacency would — identical ``rng.choice`` inputs.
+        """
+        dist = tree.dist
+        if dist[target] < 0:
+            return None
+        keep = state.keep
+        sigma_all = tree.sigma
+        path = [target]
+        current = target
+        while current != source:
+            lo = self.rev_indptr[current]
+            hi = self.rev_indptr[current + 1]
+            preds = self.rev_indices[lo:hi]
+            kept = keep[self.rev_order[lo:hi]]
+            preds = preds[kept & (dist[preds] == dist[current] - 1)]
+            if selection == "random" and preds.size > 1:
+                sigma = sigma_all[preds]
+                chosen = int(rng.choice(preds, p=sigma / sigma.sum()))
+            else:
+                chosen = int(preds[0])
+            path.append(chosen)
+            current = chosen
+        return path[::-1]
+
+    def _apply(
+        self,
+        s: int,
+        r: int,
+        amount: float,
+        path: List[int],
+        entries: List[int],
+        hop_amounts: List[float],
+    ) -> None:
+        engine = self.engine
+        metrics = engine.metrics
+        balances = self.balances
+        for entry, hop_amount in zip(entries, hop_amounts):
+            rev = int(self.rev_entry[entry])
+            balances[entry] -= hop_amount
+            balances[rev] += hop_amount
+            self.edge_traffic[entry] += 1
+            self._log_update(entry)
+            self._log_update(rev)
+        metrics.succeeded += 1
+        metrics.volume_delivered += amount
+        self.sent[s] += 1
+        self.received[r] += 1
+        self.fees_paid[s] += hop_amounts[0] - amount
+        self.fees_touched[s] = True
+        fee_fn = engine.router.fee if not engine.router.fee_forwarding else None
+        for i in range(1, len(path) - 1):
+            node = path[i]
+            fee = hop_amounts[i - 1] - hop_amounts[i]
+            if fee_fn is not None:
+                fee += fee_fn(amount)
+            self.revenue[node] += fee
+            self.revenue_touched[node] = True
+
+    # -- finalisation ---------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Fold the array accumulators into the metrics dicts and write
+        the final balances back to the channels."""
+        metrics = self.engine.metrics
+        nodes = self.view.nodes
+        for i in np.nonzero(self.revenue_touched)[0]:
+            metrics.revenue[nodes[i]] += float(self.revenue[i])
+        for i in np.nonzero(self.fees_touched)[0]:
+            metrics.fees_paid[nodes[i]] += float(self.fees_paid[i])
+        for i in np.nonzero(self.sent)[0]:
+            metrics.sent[nodes[i]] += int(self.sent[i])
+        for i in np.nonzero(self.received)[0]:
+            metrics.received[nodes[i]] += int(self.received[i])
+        for entry in np.nonzero(self.edge_traffic)[0]:
+            src = nodes[int(self.entry_rows[entry])]
+            dst = nodes[int(self.view.indices[entry])]
+            metrics.edge_traffic[(src, dst)] += int(self.edge_traffic[entry])
+        self._write_back()
+
+    def _write_back(self) -> None:
+        """Push the array balances into the channel objects.
+
+        The arrays applied the exact float operations the event engine's
+        ``Channel.send`` calls would have, in the same order, so the
+        written state is bit-identical to an event-backend run.
+        """
+        view = self.view
+        graph = self.engine.graph
+        rows = self.entry_rows
+        for entry in range(self.m):
+            u = int(rows[entry])
+            v = int(view.indices[entry])
+            if u >= v:
+                continue
+            rev = int(self.rev_entry[entry])
+            channel_id = view.pair_channels[int(view.edge_ids[entry])][0]
+            channel = graph.channel(channel_id)
+            balance_u = float(self.balances[entry])
+            balance_v = float(self.balances[rev])
+            if channel.u == view.nodes[u]:
+                channel.set_balances(balance_u, balance_v)
+            else:
+                channel.set_balances(balance_v, balance_u)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Iterable, Tuple
 
 __all__ = ["SimulationMetrics"]
 
@@ -66,6 +66,43 @@ class SimulationMetrics:
         if self.horizon <= 0:
             return 0.0
         return self.edge_traffic.get((src, dst), 0) / self.horizon
+
+    @classmethod
+    def merged(cls, parts: Iterable["SimulationMetrics"]) -> "SimulationMetrics":
+        """Combine metrics of independent runs into one.
+
+        Counters and per-node/per-edge tallies add; ``horizon`` and
+        ``htlc_locked_peak`` take the maximum. When the runs partition
+        one trace into channel-disjoint shards (see
+        :class:`~repro.simulation.sharding.ShardedTraceRunner`), every
+        per-node value comes from exactly one shard, so the merge
+        reproduces the unsharded run's per-node accounting bit for bit;
+        only order-sensitive global float sums (``volume_delivered``)
+        can differ by rounding.
+        """
+        out = cls()
+        for metrics in parts:
+            out.attempted += metrics.attempted
+            out.succeeded += metrics.succeeded
+            out.failed += metrics.failed
+            out.volume_delivered += metrics.volume_delivered
+            for node, value in metrics.revenue.items():
+                out.revenue[node] += value
+            for node, value in metrics.fees_paid.items():
+                out.fees_paid[node] += value
+            for node, count in metrics.sent.items():
+                out.sent[node] += count
+            for node, count in metrics.received.items():
+                out.received[node] += count
+            for edge, count in metrics.edge_traffic.items():
+                out.edge_traffic[edge] += count
+            for reason, count in metrics.failure_reasons.items():
+                out.failure_reasons[reason] += count
+            out.horizon = max(out.horizon, metrics.horizon)
+            out.htlc_locked_peak = max(
+                out.htlc_locked_peak, metrics.htlc_locked_peak
+            )
+        return out
 
     def summary(self) -> str:
         return (

@@ -1,0 +1,256 @@
+"""Sharded trace execution: component-partitioned parallel simulation.
+
+A payment can only move balances inside its sender's connected
+component, so a trace over a multi-component graph factors into
+independent sub-traces — :class:`ShardedTraceRunner` partitions the
+payments by component, executes each shard in its own engine (serially
+or on worker processes via the scenario grid executor), and merges the
+:class:`~repro.simulation.metrics.SimulationMetrics` exactly:
+
+* per-node and per-edge accounting is reproduced bit for bit — a
+  shard replays precisely the payments (in precisely the order) that
+  touch its components, so every float accumulates through the same
+  operations as in the unsharded run;
+* counters add exactly; only order-sensitive *global* float sums
+  (``volume_delivered``) can differ by summation rounding.
+
+Exactness across shard counts additionally requires payment-local
+routing randomness: with ``path_selection="random"`` the sequential
+``route_rng="stream"`` entangles every payment with its predecessors'
+draws, so sharding it would change results — the runner refuses that
+combination (use ``route_rng="payment"``, or ``path_selection="first"``).
+
+Workers rebuild the graph from a lean channel payload (endpoints,
+balances, ids, fee policy, slot caps — the fields
+:meth:`ChannelGraph.copy` preserves), so any in-memory graph can be
+sharded, including one an optimisation algorithm just mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..network.graph import ChannelGraph
+from ..transactions.workload import TraceArrays, Transaction
+from .engine import SimulationEngine
+from .fastpath import BatchedSimulationEngine
+from .metrics import SimulationMetrics
+
+__all__ = ["ShardedTraceRunner", "connected_component_ids"]
+
+
+def connected_component_ids(graph: ChannelGraph) -> Dict[Hashable, int]:
+    """Node -> component id (ids ordered by first node appearance)."""
+    view = graph.view(directed=True)
+    n = view.num_nodes
+    comp = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for start in range(n):
+        if comp[start] >= 0:
+            continue
+        comp[start] = next_id
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for target in view.successors(node):
+                if comp[target] < 0:
+                    comp[target] = next_id
+                    stack.append(int(target))
+        next_id += 1
+    return {node: int(comp[i]) for i, node in enumerate(view.nodes)}
+
+
+def _graph_payload(graph: ChannelGraph) -> Dict[str, Any]:
+    """A picklable reconstruction recipe (see :meth:`ChannelGraph.copy`)."""
+    return {
+        "nodes": list(graph.nodes),
+        "channels": [
+            (
+                channel.u,
+                channel.v,
+                channel.balance(channel.u),
+                channel.balance(channel.v),
+                channel.channel_id,
+                channel.fee_base,
+                channel.fee_rate,
+                channel.max_accepted_htlcs,
+            )
+            for channel in graph.channels
+        ],
+    }
+
+
+def _graph_from_payload(payload: Dict[str, Any]) -> ChannelGraph:
+    graph = ChannelGraph()
+    for node in payload["nodes"]:
+        graph.add_node(node)
+    for (u, v, balance_u, balance_v, channel_id, fee_base, fee_rate,
+         max_accepted_htlcs) in payload["channels"]:
+        graph.add_channel(
+            u, v, balance_u, balance_v, channel_id=channel_id,
+            fee_base=fee_base, fee_rate=fee_rate,
+            max_accepted_htlcs=max_accepted_htlcs,
+        )
+    return graph
+
+
+def _run_shard(
+    common: Dict[str, Any],
+    shards: List[TraceArrays],
+    index: int,
+    point: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Top-level (hence picklable) shard evaluator for the grid executor."""
+    del point  # the grid point is just the shard index
+    graph = _graph_from_payload(common["graph"])
+    kwargs = dict(common["engine_kwargs"])
+    trace = shards[index]
+    if common["backend"] == "batched":
+        engine = BatchedSimulationEngine(graph, **kwargs)
+        metrics = engine.run_trace(trace)
+    else:
+        engine = SimulationEngine(graph, **kwargs)
+        engine.schedule_transactions(
+            trace.to_transactions(),
+            indices=(int(i) for i in trace.indices),
+        )
+        metrics = engine.run()
+    return {"metrics": metrics}
+
+
+class ShardedTraceRunner:
+    """Executes one payment trace as component-disjoint parallel shards.
+
+    Args:
+        shards: requested shard count; the effective count is capped by
+            the number of graph components that actually receive
+            payments (a connected graph degrades gracefully to one
+            shard).
+        executor: ``"serial"`` or ``"process"`` — the scenario grid
+            executors (:func:`~repro.scenarios.grid.evaluate_grid`).
+        max_workers: process-pool size (``"process"`` only).
+        backend: engine per shard, ``"batched"`` (default) or
+            ``"event"``.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+        backend: str = "batched",
+    ) -> None:
+        if shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
+        if backend not in ("event", "batched"):
+            raise SimulationError(
+                f"backend must be 'event' or 'batched', got {backend!r}"
+            )
+        self.shards = shards
+        self.executor = executor
+        self.max_workers = max_workers
+        self.backend = backend
+
+    def run(
+        self,
+        graph: ChannelGraph,
+        trace: Union[TraceArrays, Sequence[Transaction]],
+        fee=None,
+        fee_forwarding: bool = True,
+        path_selection: str = "random",
+        seed: Optional[int] = 0,
+        route_rng: str = "payment",
+    ) -> SimulationMetrics:
+        """Run ``trace`` against ``graph`` and merge the shard metrics.
+
+        Engine keyword arguments mirror the simulation engines;
+        ``route_rng`` defaults to ``"payment"`` because that is the mode
+        whose results are invariant under sharding.
+        """
+        view = graph.view(directed=True)
+        if not isinstance(trace, TraceArrays):
+            trace = TraceArrays.from_transactions(list(trace), view.nodes)
+        elif trace.nodes != view.nodes:
+            trace = TraceArrays.from_transactions(
+                trace.to_transactions(), view.nodes
+            )
+        groups = self._partition(graph, view.nodes, trace)
+        if (
+            len(groups) > 1
+            and path_selection == "random"
+            and route_rng != "payment"
+        ):
+            raise SimulationError(
+                "sharded execution with path_selection='random' needs "
+                "route_rng='payment': the sequential stream RNG entangles "
+                "payments across shards, so splitting it would change "
+                "results"
+            )
+        engine_kwargs = {
+            "fee": fee,
+            "fee_forwarding": fee_forwarding,
+            "path_selection": path_selection,
+            "seed": seed,
+            "route_rng": route_rng,
+        }
+        common = {
+            "graph": _graph_payload(graph),
+            "engine_kwargs": engine_kwargs,
+            "backend": self.backend,
+        }
+        shard_traces = [trace.select(positions) for positions in groups]
+        # Ride the scenario grid executor: one grid point per shard, a
+        # picklable top-level evaluator, deterministic result order.
+        from functools import partial
+
+        from ..scenarios.grid import evaluate_grid
+
+        rows = evaluate_grid(
+            {"shard": list(range(len(shard_traces)))},
+            partial(_run_shard, common, shard_traces),
+            executor=self.executor,
+            max_workers=self.max_workers,
+        )
+        return SimulationMetrics.merged(row["metrics"] for row in rows)
+
+    def _partition(
+        self,
+        graph: ChannelGraph,
+        nodes: Tuple[Hashable, ...],
+        trace: TraceArrays,
+    ) -> List[np.ndarray]:
+        """Payment positions per shard (component groups, load-balanced).
+
+        Payments are keyed by their sender's component; marker payments
+        (unknown endpoint / self-pair) touch no balances and join the
+        least-loaded shard. Components are assigned greedily by
+        descending payment count, so shard loads stay even and the
+        grouping is deterministic.
+        """
+        comp_of_node = connected_component_ids(graph)
+        comp_arr = np.array(
+            [comp_of_node[node] for node in nodes], dtype=np.int64
+        )
+        senders = trace.senders
+        payment_comp = np.where(senders >= 0, comp_arr[senders], -1)
+        comp_ids, counts = np.unique(payment_comp, return_counts=True)
+        order = sorted(
+            range(len(comp_ids)), key=lambda i: (-counts[i], comp_ids[i])
+        )
+        shard_count = min(self.shards, max(1, len(comp_ids)))
+        loads = [0] * shard_count
+        shard_of_comp: Dict[int, int] = {}
+        for i in order:
+            shard = loads.index(min(loads))
+            shard_of_comp[int(comp_ids[i])] = shard
+            loads[shard] += int(counts[i])
+        groups: List[List[int]] = [[] for _ in range(shard_count)]
+        for pos in range(len(trace)):
+            groups[shard_of_comp[int(payment_comp[pos])]].append(pos)
+        return [
+            np.asarray(group, dtype=np.int64)
+            for group in groups if group
+        ]

@@ -18,7 +18,12 @@ from .sizes import (
     TruncatedExponentialSizes,
     UniformSizes,
 )
-from .workload import PoissonWorkload, Transaction, build_poisson_workload
+from .workload import (
+    PoissonWorkload,
+    TraceArrays,
+    Transaction,
+    build_poisson_workload,
+)
 from .zipf import ModifiedZipf
 
 __all__ = [
@@ -26,6 +31,7 @@ __all__ = [
     "FixedSize",
     "ModifiedZipf",
     "PoissonWorkload",
+    "TraceArrays",
     "Transaction",
     "TransactionDistribution",
     "TransactionSizeDistribution",

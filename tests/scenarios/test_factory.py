@@ -1,0 +1,153 @@
+"""One factory, one seed policy: every execution path builds the same
+engine.
+
+Regression for the historical duplication between ``build_engine`` and
+the attack runner's internal engine construction: the attack baseline
+run must be byte-identical to the plain simulation stage of the same
+scenario, because both now go through :mod:`repro.scenarios.factory`.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    AttackSpec,
+    FeeSpec,
+    Scenario,
+    ScenarioRunner,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.scenarios.factory import (
+    build_engine,
+    build_simulation_engine,
+    build_topology,
+    build_workload,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.fastpath import BatchedSimulationEngine
+
+
+def base_scenario(seed=7, horizon=20.0):
+    return Scenario(
+        topology=TopologySpec("star", {"leaves": 6, "balance": 10.0}),
+        workload=WorkloadSpec("poisson", {"zipf_s": 1.0}),
+        fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+        simulation=SimulationSpec(horizon=horizon),
+        seed=seed,
+    )
+
+
+def metric_fields(metrics, include_horizon=True):
+    fields = {
+        "attempted": metrics.attempted,
+        "succeeded": metrics.succeeded,
+        "failed": metrics.failed,
+        "volume_delivered": metrics.volume_delivered,
+        "revenue": dict(metrics.revenue),
+        "fees_paid": dict(metrics.fees_paid),
+        "sent": dict(metrics.sent),
+        "received": dict(metrics.received),
+        "edge_traffic": dict(metrics.edge_traffic),
+        "failure_reasons": dict(metrics.failure_reasons),
+    }
+    if include_horizon:
+        fields["horizon"] = metrics.horizon
+    return fields
+
+
+class TestOneFactory:
+    @pytest.mark.parametrize("seed", [0, 7, 99])
+    def test_attack_baseline_equals_plain_simulation(self, seed):
+        """The attack runner's honest baseline is the simulation stage.
+
+        Identical spec + seed must produce the identical event stream —
+        same payments, same routes, same per-node revenue — whether the
+        engine was built for a plain simulation run or for the attack
+        baseline (the horizon differs by convention: the attack runner
+        pins it to the spec's horizon).
+        """
+        scenario = base_scenario(seed=seed)
+        plain = ScenarioRunner().run(scenario)
+        attacked = ScenarioRunner().run(
+            dataclasses.replace(
+                scenario,
+                attack=AttackSpec("slow-jamming", {"budget": 50.0}),
+            )
+        )
+        assert metric_fields(
+            plain.metrics, include_horizon=False
+        ) == metric_fields(attacked.baseline_metrics, include_horizon=False)
+
+    def test_build_engine_uses_spec_fields(self):
+        scenario = dataclasses.replace(
+            base_scenario(),
+            simulation=SimulationSpec(
+                horizon=5.0,
+                payment_mode="htlc",
+                htlc_hold_mean=0.25,
+                fee_forwarding=False,
+                path_selection="first",
+                route_rng="payment",
+            ),
+        )
+        graph = build_topology(scenario.topology, seed=scenario.seed)
+        engine = build_engine(scenario, graph)
+        assert isinstance(engine, SimulationEngine)
+        assert engine.payment_mode == "htlc"
+        assert engine.htlc_hold_mean == 0.25
+        assert engine.router.fee_forwarding is False
+        assert engine.router.path_selection == "first"
+        assert engine.route_rng == "payment"
+
+    def test_build_simulation_engine_dispatches_backend(self):
+        scenario = base_scenario()
+        graph = build_topology(scenario.topology, seed=7)
+        assert isinstance(
+            build_simulation_engine(scenario, graph), SimulationEngine
+        )
+        batched = dataclasses.replace(
+            scenario, simulation=SimulationSpec(backend="batched")
+        )
+        assert isinstance(
+            build_simulation_engine(batched, graph), BatchedSimulationEngine
+        )
+
+    def test_build_engine_rejects_batched_spec(self):
+        scenario = dataclasses.replace(
+            base_scenario(), simulation=SimulationSpec(backend="batched")
+        )
+        graph = build_topology(scenario.topology, seed=7)
+        with pytest.raises(ScenarioError, match="event"):
+            build_engine(scenario, graph)
+
+    def test_attacks_import_factory_at_module_level(self):
+        """The lazy-import workaround is gone (no cycle remains)."""
+        import repro.attacks.runner as attacks_runner
+        import repro.scenarios.factory as factory
+
+        assert attacks_runner.build_engine is factory.build_engine
+        assert attacks_runner.build_topology is factory.build_topology
+        assert attacks_runner.build_workload is factory.build_workload
+
+    def test_runner_reexports_factory(self):
+        import repro.scenarios.factory as factory
+        import repro.scenarios.runner as runner
+
+        for name in (
+            "build_engine", "build_fee", "build_topology", "build_workload",
+            "build_simulation_engine", "build_batched_engine",
+        ):
+            assert getattr(runner, name) is getattr(factory, name)
+
+    def test_workload_seed_injection_is_shared(self):
+        """Same scenario -> same trace, wherever the workload is built."""
+        scenario = base_scenario(seed=13)
+        g1 = build_topology(scenario.topology, seed=13)
+        g2 = build_topology(scenario.topology, seed=13)
+        trace1 = list(build_workload(scenario, g1).generate(10.0))
+        trace2 = list(build_workload(scenario, g2).generate(10.0))
+        assert trace1 == trace2

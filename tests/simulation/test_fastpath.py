@@ -1,0 +1,374 @@
+"""Batched-backend parity: identical metrics to the event engine.
+
+The batched backend's contract is *exactness*, not approximation: for
+the same graph, trace, and seed it must reproduce the event engine's
+metrics — including the RNG-sampled path choices of
+``path_selection="random"`` — and leave the graph in the same final
+state. These tests drive both backends over the same pre-generated
+traces and compare everything.
+"""
+
+import pytest
+
+from repro.errors import ScenarioError, SimulationError
+from repro.network.fees import ConstantFee, LinearFee
+from repro.network.graph import ChannelGraph
+from repro.scenarios import (
+    FeeSpec,
+    Scenario,
+    ScenarioRunner,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.scenarios.runner import build_topology, build_workload
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.fastpath import BatchedSimulationEngine
+from repro.transactions.workload import TraceArrays, Transaction
+
+
+def metric_fields(metrics):
+    return {
+        "attempted": metrics.attempted,
+        "succeeded": metrics.succeeded,
+        "failed": metrics.failed,
+        "volume_delivered": metrics.volume_delivered,
+        "horizon": metrics.horizon,
+        "revenue": dict(metrics.revenue),
+        "fees_paid": dict(metrics.fees_paid),
+        "sent": dict(metrics.sent),
+        "received": dict(metrics.received),
+        "edge_traffic": dict(metrics.edge_traffic),
+        "failure_reasons": dict(metrics.failure_reasons),
+    }
+
+
+def balances_by_pair(graph):
+    return {
+        frozenset((c.u, c.v)): (c.balance(c.u), c.balance(c.v))
+        for c in graph.channels
+    }
+
+
+def run_both(scenario, engine_kwargs=None):
+    """(event metrics, batched metrics, event graph, batched graph)."""
+    from repro.scenarios.runner import build_fee
+
+    kwargs = dict(engine_kwargs or {})
+    seed = scenario.seed
+    event_graph = build_topology(scenario.topology, seed=seed)
+    trace = list(
+        build_workload(scenario, event_graph).generate(
+            scenario.simulation.horizon
+        )
+    )
+    fee = build_fee(scenario)
+    event = SimulationEngine(event_graph, fee=fee, seed=seed, **kwargs)
+    event.schedule_transactions(trace)
+    event_metrics = event.run()
+    batched_graph = build_topology(scenario.topology, seed=seed)
+    batched = BatchedSimulationEngine(
+        batched_graph, fee=fee, seed=seed, **kwargs
+    )
+    batched_metrics = batched.run_trace(trace)
+    return event_metrics, batched_metrics, event_graph, batched_graph
+
+
+def scenario_for(topology, horizon=12.0, seed=7, workload_params=None):
+    return Scenario(
+        topology=topology,
+        workload=WorkloadSpec("poisson", dict(workload_params or {})),
+        fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+        simulation=SimulationSpec(horizon=horizon),
+        seed=seed,
+    )
+
+
+class TestMetricsParity:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_small_graph_parity(self, seed):
+        """n < 150 exercises the python-BFS branch."""
+        scenario = scenario_for(
+            TopologySpec("ba", {"n": 40}), horizon=25.0, seed=seed
+        )
+        event, batched, g1, g2 = run_both(scenario)
+        assert metric_fields(event) == metric_fields(batched)
+        assert balances_by_pair(g1) == balances_by_pair(g2)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_csr_graph_parity(self, seed):
+        """n >= 150 exercises the vectorised masked-BFS branch."""
+        scenario = scenario_for(
+            TopologySpec("ba", {"n": 200}), horizon=6.0, seed=seed
+        )
+        event, batched, g1, g2 = run_both(scenario)
+        assert metric_fields(event) == metric_fields(batched)
+        assert balances_by_pair(g1) == balances_by_pair(g2)
+
+    def test_variable_amounts_parity(self):
+        """Continuously-distributed sizes: one mask per distinct amount."""
+        scenario = scenario_for(
+            TopologySpec("ba", {"n": 160}),
+            horizon=5.0,
+            workload_params={
+                "sizes": {
+                    "kind": "truncated-exponential",
+                    "scale": 0.5,
+                    "high": 5.0,
+                },
+            },
+        )
+        event, batched, g1, g2 = run_both(scenario)
+        assert metric_fields(event) == metric_fields(batched)
+        assert balances_by_pair(g1) == balances_by_pair(g2)
+
+    @pytest.mark.parametrize("kind,params", [
+        ("star", {"leaves": 8, "balance": 3.0}),
+        ("circle", {"n": 12, "balance": 2.0}),
+        ("path", {"n": 9, "balance": 4.0}),
+    ])
+    def test_section_iv_topologies(self, kind, params):
+        scenario = scenario_for(TopologySpec(kind, params), horizon=20.0)
+        event, batched, g1, g2 = run_both(scenario)
+        assert metric_fields(event) == metric_fields(batched)
+        assert balances_by_pair(g1) == balances_by_pair(g2)
+
+    def test_path_selection_first(self):
+        scenario = scenario_for(TopologySpec("ba", {"n": 170}), horizon=5.0)
+        event, batched, *_ = run_both(
+            scenario, engine_kwargs={"path_selection": "first"}
+        )
+        assert metric_fields(event) == metric_fields(batched)
+
+    def test_payment_route_rng(self):
+        scenario = scenario_for(TopologySpec("ba", {"n": 170}), horizon=5.0)
+        event, batched, *_ = run_both(
+            scenario, engine_kwargs={"route_rng": "payment"}
+        )
+        assert metric_fields(event) == metric_fields(batched)
+
+    def test_no_fee_forwarding(self):
+        scenario = scenario_for(TopologySpec("ba", {"n": 40}), horizon=10.0)
+        event, batched, *_ = run_both(
+            scenario, engine_kwargs={"fee_forwarding": False}
+        )
+        assert metric_fields(event) == metric_fields(batched)
+
+    def test_epoch_size_invariance(self):
+        """Epochs are an optimisation window: any size, same results."""
+        scenario = scenario_for(TopologySpec("ba", {"n": 50}), horizon=15.0)
+        graph = build_topology(scenario.topology, seed=7)
+        trace = list(build_workload(scenario, graph).generate(15.0))
+        results = []
+        for epoch_size in (1, 3, 64, 100000):
+            g = build_topology(scenario.topology, seed=7)
+            engine = BatchedSimulationEngine(
+                g, fee=LinearFee(0.01, 0.001), seed=7, epoch_size=epoch_size
+            )
+            results.append(metric_fields(engine.run_trace(trace)))
+        assert all(r == results[0] for r in results[1:])
+
+    def test_backend_via_scenario_runner(self):
+        base = scenario_for(TopologySpec("ba", {"n": 60}), horizon=10.0)
+        event_result = ScenarioRunner().run(base)
+        batched_result = ScenarioRunner().run(
+            base.with_overrides({"simulation.backend": "batched"})
+        )
+        assert metric_fields(event_result.metrics) == metric_fields(
+            batched_result.metrics
+        )
+        assert event_result.row["succeeded"] == batched_result.row["succeeded"]
+
+
+class TestFailureParity:
+    def test_unknown_endpoint_and_self_pair(self):
+        graph = ChannelGraph.from_edges([("a", "b"), ("b", "c")], balance=5.0)
+        trace = [
+            Transaction(time=1.0, sender="a", receiver="ghost", amount=1.0),
+            Transaction(time=2.0, sender="b", receiver="b", amount=1.0),
+            Transaction(time=3.0, sender="nope", receiver="nope", amount=1.0),
+            Transaction(time=4.0, sender="a", receiver="c", amount=1.0),
+        ]
+        event = SimulationEngine(
+            ChannelGraph.from_edges([("a", "b"), ("b", "c")], balance=5.0),
+            seed=0,
+        )
+        event.schedule_transactions(trace)
+        event_metrics = event.run()
+        batched = BatchedSimulationEngine(graph, seed=0)
+        batched_metrics = batched.run_trace(trace)
+        assert metric_fields(event_metrics) == metric_fields(batched_metrics)
+        assert batched_metrics.failure_reasons["unknown-endpoint"] == 1
+        assert batched_metrics.failure_reasons["other"] == 2
+
+    def test_split_balance_failure(self):
+        """Feasible at `amount` but not at amount+fees on an inner hop."""
+        def build():
+            graph = ChannelGraph()
+            # a->b holds enough for the amount (1.0) but not for
+            # amount + b's fee (1.5), so routing passes and execution
+            # fails on the sender-side hop.
+            graph.add_channel("a", "b", 1.2, 0.0)
+            graph.add_channel("b", "c", 5.0, 0.0)
+            return graph
+
+        trace = [Transaction(time=1.0, sender="a", receiver="c", amount=1.0)]
+        event = SimulationEngine(build(), fee=ConstantFee(0.5), seed=0)
+        event.schedule_transactions(trace)
+        event_metrics = event.run()
+        batched = BatchedSimulationEngine(build(), fee=ConstantFee(0.5), seed=0)
+        batched_metrics = batched.run_trace(trace)
+        assert event_metrics.failure_reasons["split-balance"] == 1
+        assert metric_fields(event_metrics) == metric_fields(batched_metrics)
+
+    def test_no_capacity_path(self):
+        graph = ChannelGraph.from_edges([("a", "b")], balance=0.5)
+        batched = BatchedSimulationEngine(graph, seed=0)
+        metrics = batched.run_trace(
+            [Transaction(time=1.0, sender="a", receiver="b", amount=2.0)]
+        )
+        assert metrics.failure_reasons["no-capacity-path"] == 1
+
+
+class TestGuards:
+    def test_htlc_mode_rejected(self):
+        graph = ChannelGraph.from_edges([("a", "b")], balance=1.0)
+        with pytest.raises(SimulationError, match="instant"):
+            BatchedSimulationEngine(graph, payment_mode="htlc")
+
+    def test_parallel_channels_rejected(self):
+        graph = ChannelGraph()
+        graph.add_channel("a", "b", 1.0, 1.0)
+        graph.add_channel("a", "b", 2.0, 2.0)
+        engine = BatchedSimulationEngine(graph)
+        with pytest.raises(SimulationError, match="parallel"):
+            engine.run_trace([])
+
+    def test_spec_rejects_batched_htlc(self):
+        with pytest.raises(ScenarioError, match="instant"):
+            SimulationSpec(payment_mode="htlc", backend="batched")
+
+    def test_spec_rejects_unknown_backend(self):
+        with pytest.raises(ScenarioError, match="backend"):
+            SimulationSpec(backend="warp")
+
+    def test_spec_rejects_batched_attack(self):
+        from repro.scenarios import AttackSpec
+
+        with pytest.raises(ScenarioError, match="event"):
+            Scenario(
+                topology=TopologySpec("star", {"leaves": 4}),
+                simulation=SimulationSpec(backend="batched"),
+                attack=AttackSpec("slow-jamming", {"budget": 10.0}),
+            )
+
+    def test_attack_runner_guard(self):
+        """Defence in depth: the runner re-checks the backend invariant."""
+        from repro.attacks.runner import AttackRunner
+        from repro.scenarios import AttackSpec
+
+        scenario = Scenario(
+            topology=TopologySpec("star", {"leaves": 4}),
+            simulation=SimulationSpec(horizon=5.0),
+            attack=AttackSpec("slow-jamming", {"budget": 10.0}),
+        )
+        object.__setattr__(
+            scenario, "simulation", SimulationSpec(backend="batched")
+        )
+        with pytest.raises(ScenarioError, match="event"):
+            AttackRunner().run(scenario)
+
+    def test_bad_epoch_size(self):
+        graph = ChannelGraph.from_edges([("a", "b")], balance=1.0)
+        with pytest.raises(SimulationError, match="epoch_size"):
+            BatchedSimulationEngine(graph, epoch_size=0)
+
+    def test_unsorted_trace_rejected(self):
+        graph = ChannelGraph.from_edges([("a", "b")], balance=5.0)
+        engine = BatchedSimulationEngine(graph)
+        with pytest.raises(SimulationError, match="time-ordered"):
+            engine.run_trace([
+                Transaction(time=2.0, sender="a", receiver="b", amount=1.0),
+                Transaction(time=1.0, sender="b", receiver="a", amount=1.0),
+            ])
+
+
+class TestTraceArrays:
+    def test_round_trip(self):
+        nodes = ("a", "b", "c")
+        txs = [
+            Transaction(time=1.0, sender="a", receiver="b", amount=2.0),
+            Transaction(time=2.0, sender="x", receiver="b", amount=1.0),
+            Transaction(time=3.0, sender="c", receiver="c", amount=1.0),
+        ]
+        trace = TraceArrays.from_transactions(txs, nodes)
+        assert len(trace) == 3
+        assert trace.to_transactions() == txs
+
+    def test_select_preserves_global_indices(self):
+        nodes = ("a", "b")
+        txs = [
+            Transaction(time=float(i), sender="a", receiver="b", amount=1.0)
+            for i in range(5)
+        ]
+        trace = TraceArrays.from_transactions(txs, nodes)
+        sub = trace.select([1, 3, 4])
+        assert list(sub.indices) == [1, 3, 4]
+        assert [tx.time for tx in sub.to_transactions()] == [1.0, 3.0, 4.0]
+
+    def test_generate_trace_matches_generate(self):
+        scenario = scenario_for(TopologySpec("ba", {"n": 20}), horizon=10.0)
+        g1 = build_topology(scenario.topology, seed=7)
+        g2 = build_topology(scenario.topology, seed=7)
+        listed = list(build_workload(scenario, g1).generate(10.0))
+        arrays = build_workload(scenario, g2).generate_trace(10.0, g2.nodes)
+        assert arrays.to_transactions() == listed
+
+    def test_run_trace_accepts_arrays(self):
+        scenario = scenario_for(TopologySpec("ba", {"n": 30}), horizon=8.0)
+        graph = build_topology(scenario.topology, seed=7)
+        trace = build_workload(scenario, graph).generate_trace(
+            8.0, graph.nodes
+        )
+        g_list = build_topology(scenario.topology, seed=7)
+        from_list = BatchedSimulationEngine(g_list, seed=7).run_trace(
+            trace.to_transactions()
+        )
+        g_arr = build_topology(scenario.topology, seed=7)
+        from_arrays = BatchedSimulationEngine(g_arr, seed=7).run_trace(trace)
+        assert metric_fields(from_list) == metric_fields(from_arrays)
+
+
+class TestPaymentIndexStamping:
+    def test_explicit_indices_advance_the_sequence(self):
+        """Default stamping after an explicit batch must not reuse its
+        indices (duplicate per-payment RNG keys)."""
+        graph = ChannelGraph.from_edges([("a", "b")], balance=50.0)
+        engine = SimulationEngine(graph, seed=0, route_rng="payment")
+        txs = [
+            Transaction(time=1.0, sender="a", receiver="b", amount=1.0),
+            Transaction(time=2.0, sender="a", receiver="b", amount=1.0),
+        ]
+        engine.schedule_transactions(txs, indices=[5, 9])
+        engine.schedule_transactions(
+            [Transaction(time=3.0, sender="a", receiver="b", amount=1.0)]
+        )
+        indices = sorted(
+            event.index for _, _, event in engine._queue._heap
+        )
+        assert indices == [5, 9, 10]
+
+
+class TestStats:
+    def test_stats_account_for_all_routed_payments(self):
+        scenario = scenario_for(TopologySpec("ba", {"n": 50}), horizon=15.0)
+        graph = build_topology(scenario.topology, seed=7)
+        trace = list(build_workload(scenario, graph).generate(15.0))
+        engine = BatchedSimulationEngine(graph, seed=7)
+        engine.run_trace(trace)
+        stats = engine.stats
+        assert stats.payments == len(trace)
+        assert stats.tree_builds + stats.tree_hits > 0
+        assert stats.epochs >= 1
+        # Every cache miss is either a first-touch build or a conflict.
+        assert stats.conflicts <= stats.tree_builds

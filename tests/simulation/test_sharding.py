@@ -1,0 +1,221 @@
+"""Sharded trace execution: metric-exact partitioned simulation.
+
+The headline property: for a multi-component graph, running a random
+workload through :class:`ShardedTraceRunner` with 1, 2, and 8 shards
+yields the same :class:`SimulationMetrics` as the unsharded run — exact
+on every counter and every per-node/per-edge tally (payments only ever
+move balances inside their sender's component, and ``route_rng="payment"``
+keeps each payment's tie-break draws independent of its co-runners).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.network.fees import LinearFee
+from repro.network.graph import ChannelGraph
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.fastpath import BatchedSimulationEngine
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.sharding import (
+    ShardedTraceRunner,
+    connected_component_ids,
+)
+from repro.transactions.workload import Transaction
+
+
+def multi_component_graph(components=4, size=6, balance=4.0, seed=3):
+    """Several disjoint ring communities with random extra chords."""
+    rng = np.random.default_rng(seed)
+    graph = ChannelGraph()
+    for c in range(components):
+        names = [f"c{c}n{i}" for i in range(size)]
+        for i in range(size):
+            graph.add_channel(
+                names[i], names[(i + 1) % size], balance, balance
+            )
+        for _ in range(2):
+            u, v = rng.choice(size, size=2, replace=False)
+            if not graph.has_channel(names[u], names[v]):
+                graph.add_channel(names[u], names[v], balance, balance)
+    return graph
+
+
+def random_trace(graph, count, seed, max_amount=2.0):
+    rng = np.random.default_rng(seed)
+    nodes = list(graph.nodes)
+    trace = []
+    time = 0.0
+    for _ in range(count):
+        time += float(rng.exponential(0.1))
+        sender, receiver = (
+            nodes[i] for i in rng.choice(len(nodes), size=2, replace=False)
+        )
+        trace.append(
+            Transaction(
+                time=time,
+                sender=sender,
+                receiver=receiver,
+                amount=float(rng.uniform(0.1, max_amount)),
+            )
+        )
+    return trace
+
+
+def copy_graph(graph):
+    return graph.copy()
+
+
+def metric_fields(metrics):
+    return {
+        "attempted": metrics.attempted,
+        "succeeded": metrics.succeeded,
+        "failed": metrics.failed,
+        "revenue": dict(metrics.revenue),
+        "fees_paid": dict(metrics.fees_paid),
+        "sent": dict(metrics.sent),
+        "received": dict(metrics.received),
+        "edge_traffic": dict(metrics.edge_traffic),
+        "failure_reasons": dict(metrics.failure_reasons),
+        "horizon": metrics.horizon,
+    }
+
+
+class TestShardCountInvariance:
+    @pytest.mark.parametrize("workload_seed", [0, 11, 42])
+    def test_1_2_8_shards_match_unsharded(self, workload_seed):
+        """The satellite property: shard count never changes the result."""
+        graph = multi_component_graph()
+        trace = random_trace(graph, 300, workload_seed)
+        fee = LinearFee(0.01, 0.001)
+        unsharded = BatchedSimulationEngine(
+            copy_graph(graph), fee=fee, seed=7, route_rng="payment"
+        ).run_trace(trace)
+        baseline = metric_fields(unsharded)
+        for shards in (1, 2, 8):
+            merged = ShardedTraceRunner(shards=shards).run(
+                copy_graph(graph), trace, fee=fee, seed=7
+            )
+            result = metric_fields(merged)
+            # Per-component accounting is bit-exact; the only order-
+            # sensitive global float sum is volume_delivered.
+            assert result == baseline, f"shards={shards}"
+            assert merged.volume_delivered == pytest.approx(
+                unsharded.volume_delivered, rel=1e-12
+            )
+
+    def test_matches_event_engine_too(self):
+        """Sharded-batched == unsharded-event under payment route RNG."""
+        graph = multi_component_graph(components=3, size=5)
+        trace = random_trace(graph, 200, seed=5)
+        fee = LinearFee(0.01, 0.001)
+        event_engine = SimulationEngine(
+            copy_graph(graph), fee=fee, seed=7, route_rng="payment"
+        )
+        event_engine.schedule_transactions(trace)
+        event_metrics = event_engine.run()
+        merged = ShardedTraceRunner(shards=4).run(
+            copy_graph(graph), trace, fee=fee, seed=7
+        )
+        assert metric_fields(event_metrics) == metric_fields(merged)
+
+    def test_process_executor_matches_serial(self):
+        graph = multi_component_graph(components=3, size=5)
+        trace = random_trace(graph, 120, seed=9)
+        fee = LinearFee(0.01, 0.001)
+        serial = ShardedTraceRunner(shards=3, executor="serial").run(
+            copy_graph(graph), trace, fee=fee, seed=7
+        )
+        parallel = ShardedTraceRunner(
+            shards=3, executor="process", max_workers=2
+        ).run(copy_graph(graph), trace, fee=fee, seed=7)
+        assert metric_fields(serial) == metric_fields(parallel)
+        assert serial.volume_delivered == parallel.volume_delivered
+
+    def test_event_backend_shards(self):
+        graph = multi_component_graph(components=2, size=5)
+        trace = random_trace(graph, 100, seed=2)
+        batched = ShardedTraceRunner(shards=2, backend="batched").run(
+            copy_graph(graph), trace, seed=7
+        )
+        event = ShardedTraceRunner(shards=2, backend="event").run(
+            copy_graph(graph), trace, seed=7
+        )
+        assert metric_fields(batched) == metric_fields(event)
+
+    def test_connected_graph_degrades_to_one_shard(self):
+        graph = ChannelGraph.from_edges(
+            [("a", "b"), ("b", "c"), ("c", "d")], balance=5.0
+        )
+        trace = random_trace(graph, 50, seed=1)
+        merged = ShardedTraceRunner(shards=8).run(
+            copy_graph(graph), trace, seed=7
+        )
+        unsharded = BatchedSimulationEngine(
+            copy_graph(graph), seed=7, route_rng="payment"
+        ).run_trace(trace)
+        assert metric_fields(merged) == metric_fields(unsharded)
+
+
+class TestGuardsAndHelpers:
+    def test_stream_rng_with_multiple_shards_rejected(self):
+        graph = multi_component_graph(components=2)
+        trace = random_trace(graph, 20, seed=0)
+        with pytest.raises(SimulationError, match="payment"):
+            ShardedTraceRunner(shards=2).run(
+                graph, trace, route_rng="stream"
+            )
+
+    def test_stream_rng_single_component_allowed(self):
+        """One effective shard keeps the stream semantics intact."""
+        graph = ChannelGraph.from_edges([("a", "b"), ("b", "c")], balance=5.0)
+        trace = random_trace(graph, 30, seed=0)
+        merged = ShardedTraceRunner(shards=4).run(
+            copy_graph(graph), trace, route_rng="stream", seed=7
+        )
+        unsharded = BatchedSimulationEngine(
+            copy_graph(graph), seed=7, route_rng="stream"
+        ).run_trace(trace)
+        assert metric_fields(merged) == metric_fields(unsharded)
+
+    def test_first_selection_streams_shard_fine(self):
+        graph = multi_component_graph(components=2)
+        trace = random_trace(graph, 60, seed=4)
+        merged = ShardedTraceRunner(shards=2).run(
+            copy_graph(graph), trace,
+            path_selection="first", route_rng="stream", seed=7,
+        )
+        unsharded = BatchedSimulationEngine(
+            copy_graph(graph), seed=7,
+            path_selection="first", route_rng="stream",
+        ).run_trace(trace)
+        assert metric_fields(merged) == metric_fields(unsharded)
+
+    def test_component_ids(self):
+        graph = multi_component_graph(components=3, size=4)
+        comp = connected_component_ids(graph)
+        assert len(set(comp.values())) == 3
+        assert comp["c0n0"] == comp["c0n3"]
+        assert comp["c0n0"] != comp["c1n0"]
+
+    def test_bad_shard_count(self):
+        with pytest.raises(SimulationError, match="shards"):
+            ShardedTraceRunner(shards=0)
+
+    def test_merged_empty(self):
+        merged = SimulationMetrics.merged([])
+        assert merged.attempted == 0
+        assert merged.horizon == 0.0
+
+    def test_merged_adds_and_maxes(self):
+        a = SimulationMetrics(attempted=3, succeeded=2, failed=1, horizon=4.0)
+        a.revenue["x"] = 1.5
+        b = SimulationMetrics(attempted=1, succeeded=1, horizon=9.0)
+        b.revenue["x"] = 0.5
+        b.revenue["y"] = 2.0
+        merged = SimulationMetrics.merged([a, b])
+        assert merged.attempted == 4
+        assert merged.succeeded == 3
+        assert merged.failed == 1
+        assert merged.horizon == 9.0
+        assert merged.revenue == {"x": 2.0, "y": 2.0}

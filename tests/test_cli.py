@@ -96,6 +96,14 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "payments:" in out
 
+    def test_batched_backend_matches_event(self, capsys):
+        args = ["simulate", "--nodes", "15", "--horizon", "5", "--seed", "1"]
+        assert main(args) == 0
+        event_out = capsys.readouterr().out
+        assert main(args + ["--backend", "batched"]) == 0
+        batched_out = capsys.readouterr().out
+        assert batched_out == event_out
+
 
 def write_scenario(path, **overrides):
     doc = {
@@ -127,6 +135,20 @@ class TestRunScenario:
         code = main(["run-scenario", str(scen), "--seed", "99"])
         assert code == 0
         assert "99" in capsys.readouterr().out
+
+    def test_backend_override(self, tmp_path, capsys):
+        scen = write_scenario(
+            tmp_path / "scen.json", algorithm=None
+        )
+        code = main(["run-scenario", str(scen), "--backend", "batched"])
+        assert code == 0
+        assert "payments:" in capsys.readouterr().out
+
+    def test_backend_override_without_simulation_errors(self, tmp_path, capsys):
+        scen = write_scenario(tmp_path / "scen.json", simulation=None)
+        code = main(["run-scenario", str(scen), "--backend", "batched"])
+        assert code == 2
+        assert "simulation" in capsys.readouterr().err
 
 
 class TestSweep:
