@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Evolution-engine benchmark: epochs per second at scale.
+
+Runs the full epoch loop — Poisson arrivals (5/epoch, random-attach
+joins), uniform churn with realised closure costs, a batched traffic
+epoch, and an empirical best-response sweep (sampled deviation family) —
+on a BA snapshot and reports wall-clock epochs/sec plus the per-epoch
+payment volume. The config exercises every phase at the ISSUE target
+scale (n=500, arrival rate 5/epoch) while keeping the best-response
+phase bounded (``sample`` nodes x ``moves_per_node`` candidate replays).
+
+Run:
+    PYTHONPATH=src python benchmarks/perf/bench_evolution.py
+    PYTHONPATH=src python benchmarks/perf/bench_evolution.py --smoke
+
+Writes ``BENCH_evolution.json`` (see ``--output``). CI gates the smoke
+rows against the committed baseline via ``benchmarks/perf/gate.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict
+
+from repro import __version__
+from repro.scenarios import (
+    ChurnSpec,
+    EvolutionSpec,
+    FeeSpec,
+    GrowthSpec,
+    Scenario,
+    ScenarioRunner,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+# (n, epochs): the ISSUE target is n=500; epochs only scale wall-clock.
+FULL_CASES = ((200, 10), (500, 10))
+SMOKE_CASES = ((500, 3),)
+SEED = 7
+ARRIVAL_RATE = 5.0
+
+
+def scenario_for(n: int, epochs: int) -> Scenario:
+    return Scenario(
+        topology=TopologySpec("ba", {"n": n, "capacity_mu": 3.0}),
+        workload=WorkloadSpec(
+            "poisson", {"rate": 0.05, "zipf_s": 1.0}
+        ),
+        fee=FeeSpec("linear", {"base": 0.05, "rate": 0.01}),
+        evolution=EvolutionSpec(
+            epochs=epochs,
+            growth=GrowthSpec("poisson", {
+                "rate": ARRIVAL_RATE,
+                "algorithm": "random-attach",
+                "params": {"k": 2, "lock": 1.0},
+            }),
+            churn=ChurnSpec("uniform", {"rate": 0.005}),
+            utility="empirical",
+            traffic_horizon=2.0,
+            sample=2,
+            mode="sampled",
+            moves_per_node=6,
+            edge_cost=0.01,
+            patience=epochs + 1,  # never stop early: fixed work per row
+            final_nash_check=False,
+        ),
+        name=f"bench-evolution-{n}",
+        seed=SEED,
+    )
+
+
+def bench_case(n: int, epochs: int) -> Dict[str, object]:
+    scenario = scenario_for(n, epochs)
+    start = time.perf_counter()
+    result = ScenarioRunner().run(scenario)
+    seconds = time.perf_counter() - start
+    trajectory = result.evolution
+    payments = sum(r.attempted for r in trajectory.records)
+    return {
+        "n": n,
+        "epochs": trajectory.epochs_run,
+        "seconds": seconds,
+        "epochs_per_sec": trajectory.epochs_run / seconds,
+        "payments_simulated": payments,
+        "arrival_rate": ARRIVAL_RATE,
+        "final_nodes": trajectory.final().nodes,
+        "final_channels": trajectory.final().channels,
+        "total_arrivals": trajectory.totals["total_arrivals"],
+        "total_departures": trajectory.totals["total_departures"],
+        "total_moves": trajectory.totals["total_moves"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="n=500 with few epochs, for the CI perf-regression job",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_evolution.json",
+        help="where to write the results JSON",
+    )
+    parser.add_argument(
+        "--min-epochs-per-sec", type=float, default=None,
+        help="exit non-zero if any case falls below this throughput "
+        "(standalone guard; CI uses gate.py floors instead)",
+    )
+    args = parser.parse_args()
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+
+    results = []
+    for n, epochs in cases:
+        row = bench_case(n, epochs)
+        results.append(row)
+        print(
+            f"n={row['n']:<5d} epochs={row['epochs']:>3d}  "
+            f"epochs/sec={row['epochs_per_sec']:>6.2f}  "
+            f"payments={row['payments_simulated']:>6d}  "
+            f"arrivals={row['total_arrivals']}  "
+            f"departures={row['total_departures']}  "
+            f"moves={row['total_moves']}"
+        )
+
+    document = {
+        "benchmark": "evolution",
+        "version": __version__,
+        "mode": "smoke" if args.smoke else "full",
+        "seed": SEED,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.min_epochs_per_sec is not None:
+        slow = [
+            row for row in results
+            if row["epochs_per_sec"] < args.min_epochs_per_sec
+        ]
+        if slow:
+            raise SystemExit(
+                f"evolution throughput regression: {slow} below "
+                f"{args.min_epochs_per_sec} epochs/sec"
+            )
+
+
+if __name__ == "__main__":
+    main()

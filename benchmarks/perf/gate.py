@@ -40,6 +40,7 @@ BENCHMARKS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]] 
         ("speedup",),
         ("batched_payments_per_sec",),
     ),
+    "evolution": (("n",), (), ("epochs_per_sec",)),
 }
 
 

@@ -2,7 +2,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="lightning-creation-games",
-    version="1.2.0",
+    version="1.4.0",
     description=(
         "Reproduction of 'Lightning Creation Games' (ICDCS 2023): "
         "payment-channel-network creation games, joining-strategy "

@@ -22,7 +22,11 @@ The library models the incentive structure behind payment channel network
   every driver (CLI, examples, sweeps) goes through;
 * :mod:`repro.attacks` — the adversarial traffic engine: channel jamming,
   liquidity griefing, and baseline-vs-attacked damage reports over the
-  same discrete-event substrate.
+  same discrete-event substrate;
+* :mod:`repro.evolution` — the traffic-coupled network evolution engine:
+  epoch-based arrivals, churn with realised closure costs, batched
+  traffic epochs, and empirical best-response dynamics recording
+  emergence trajectories.
 
 Quickstart::
 
@@ -92,21 +96,27 @@ from .transactions import TraceArrays
 from .scenarios import (
     AlgorithmSpec,
     AttackSpec,
+    ChurnSpec,
+    EvolutionSpec,
     FeeSpec,
+    GrowthSpec,
     Scenario,
     SimulationSpec,
     TopologySpec,
     WorkloadSpec,
     register_algorithm,
     register_attack,
+    register_churn,
     register_fee,
+    register_growth,
     register_topology,
     register_workload,
 )
 from .scenarios.runner import ScenarioResult, ScenarioRunner
 from .attacks import AttackReport, AttackRunner, AttackStrategy
+from .evolution import EvolutionEngine, EvolutionRunner, Trajectory
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Action",
@@ -122,9 +132,14 @@ __all__ = [
     "Channel",
     "ChannelGraph",
     "ChannelNotFound",
+    "ChurnSpec",
     "DEFAULT_PARAMS",
     "DuplicateChannel",
+    "EvolutionEngine",
+    "EvolutionRunner",
+    "EvolutionSpec",
     "FeeSpec",
+    "GrowthSpec",
     "GraphError",
     "GraphView",
     "HtlcError",
@@ -151,6 +166,7 @@ __all__ = [
     "Strategy",
     "TopologySpec",
     "TraceArrays",
+    "Trajectory",
     "WorkloadSpec",
     "brute_force",
     "check_nash",
@@ -159,7 +175,9 @@ __all__ = [
     "greedy_fixed_funds",
     "register_algorithm",
     "register_attack",
+    "register_churn",
     "register_fee",
+    "register_growth",
     "register_topology",
     "register_workload",
     "__version__",

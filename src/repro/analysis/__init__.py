@@ -1,5 +1,6 @@
 """Sweep, estimation, and reporting helpers for experiments."""
 
+from .emergence import classify_topology, emergence_table
 from .resilience import equilibrium_topology_docs, resilience_table
 from .estimation import (
     RateEstimate,
@@ -15,6 +16,8 @@ from .tables import format_table, format_value
 __all__ = [
     "RateEstimate",
     "ZipfEstimate",
+    "classify_topology",
+    "emergence_table",
     "estimate_average_fee",
     "estimate_sender_rates",
     "equilibrium_topology_docs",

@@ -1,0 +1,194 @@
+"""Topology emergence under evolution: the dynamic Section IV question.
+
+The paper proves the star, path, and circle are Nash equilibria under
+suitable parameters — a *static* statement. :func:`emergence_table`
+asks the dynamic one: start the evolution engine on each Section IV
+topology with identical parameters (same arrival/churn processes, same
+workload seed, same utility model) and tabulate where best-response
+dynamics take it — does the star emerge from best responses, and does
+it survive churn? ``survived`` marks runs whose final graph still
+classifies as the topology they started from; ``nash_stable`` is the
+full :func:`~repro.equilibrium.nash.check_nash` certificate on the
+final graph.
+
+The sweep rides :meth:`ScenarioRunner.run_sweep
+<repro.scenarios.runner.ScenarioRunner.run_sweep>`, so
+``executor="process"`` parallelises the topology grid with bit-identical
+rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..evolution.trajectory import classify_topology  # noqa: F401  (re-export)
+from ..scenarios.specs import (
+    ChurnSpec,
+    EvolutionSpec,
+    FeeSpec,
+    GrowthSpec,
+    Scenario,
+    TopologySpec,
+    WorkloadSpec,
+)
+from .resilience import equilibrium_topology_docs
+
+__all__ = [
+    "EMERGENCE_COLUMNS",
+    "classify_topology",
+    "default_evolution_scenario",
+    "emergence_table",
+]
+
+#: Columns the emergence table keeps, in display order.
+EMERGENCE_COLUMNS = (
+    "topology",
+    "epochs_run",
+    "converged",
+    "final_nodes",
+    "final_channels",
+    "final_topology",
+    "survived",
+    "nash_stable",
+    "final_max_gain",
+    "final_welfare",
+    "total_arrivals",
+    "total_departures",
+    "total_moves",
+)
+
+
+def default_evolution_scenario(
+    topology: TopologySpec,
+    epochs: int = 10,
+    seed: int = 7,
+    arrival_rate: float = 0.0,
+    churn_rate: float = 0.0,
+    utility: str = "analytic",
+    traffic_horizon: float = 10.0,
+    a: float = 0.1,
+    b: float = 0.1,
+    edge_cost: float = 1.0,
+    zipf_s: float = 2.0,
+    sample: Optional[int] = None,
+    mode: str = "structured",
+    balance: float = 1.0,
+    name: str = "evolve",
+) -> Scenario:
+    """The canonical evolution scenario shared by CLI and tables.
+
+    Defaults put the star inside its Thm 9 stability region (``a = b =
+    0.1``, ``s = 2``, ``l = 1``), so a churn-free run certifies the
+    static result and the interesting deltas come from arrivals/churn.
+    ``balance`` funds best-response channels; pass the topology's
+    per-side balance so empirical replays don't starve deviators of
+    liquidity relative to incumbent channels.
+    """
+    growth = None
+    if arrival_rate > 0:
+        growth = GrowthSpec("poisson", {
+            "rate": arrival_rate,
+            "algorithm": "greedy",
+            "params": {"budget": 4.0, "lock": 1.0},
+        })
+    churn = None
+    if churn_rate > 0:
+        churn = ChurnSpec("uniform", {"rate": churn_rate})
+    return Scenario(
+        topology=topology,
+        workload=WorkloadSpec("poisson", {"zipf_s": zipf_s}),
+        fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+        evolution=EvolutionSpec(
+            epochs=epochs,
+            growth=growth,
+            churn=churn,
+            utility=utility,
+            traffic_horizon=traffic_horizon,
+            sample=sample,
+            mode=mode,
+            balance=balance,
+            a=a,
+            b=b,
+            edge_cost=edge_cost,
+            zipf_s=zipf_s,
+        ),
+        name=name,
+        seed=seed,
+    )
+
+
+def emergence_table(
+    epochs: int = 10,
+    size: int = 6,
+    balance: float = 10.0,
+    seed: int = 7,
+    arrival_rate: float = 0.0,
+    churn_rate: float = 0.0,
+    utility: str = "analytic",
+    traffic_horizon: float = 10.0,
+    a: float = 0.1,
+    b: float = 0.1,
+    edge_cost: float = 1.0,
+    zipf_s: float = 2.0,
+    sample: Optional[int] = None,
+    mode: str = "structured",
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Run the evolution engine over the three NE topologies and tabulate.
+
+    Args:
+        epochs / arrival_rate / churn_rate / utility / traffic_horizon /
+            sample / mode: forwarded to the
+            :class:`~repro.scenarios.specs.EvolutionSpec`.
+        size: number of nodes in every starting topology.
+        balance: per-side channel balance of the built topologies.
+        seed: pinned on every grid point (like the resilience table), so
+            all three topologies face the same arrival/churn/workload
+            randomness — the controlled comparison.
+        a / b / edge_cost / zipf_s: the Section IV utility parameters.
+        executor / max_workers: forwarded to ``run_sweep``.
+
+    Returns:
+        One row per topology, in grid order, reduced to
+        :data:`EMERGENCE_COLUMNS` plus ``survived``.
+    """
+    # Deferred: repro.scenarios.runner imports the provider modules.
+    from ..scenarios.runner import ScenarioRunner
+
+    base = default_evolution_scenario(
+        TopologySpec("star", {"leaves": size - 1, "balance": balance}),
+        epochs=epochs,
+        seed=seed,
+        arrival_rate=arrival_rate,
+        churn_rate=churn_rate,
+        utility=utility,
+        traffic_horizon=traffic_horizon,
+        a=a,
+        b=b,
+        edge_cost=edge_cost,
+        zipf_s=zipf_s,
+        sample=sample,
+        mode=mode,
+        balance=balance,
+        name="emergence",
+    )
+    grid = {
+        "topology": equilibrium_topology_docs(size, balance=balance),
+        # a swept "seed" wins over run_sweep's per-point derivation:
+        # every topology must face the same evolution randomness
+        "seed": [seed],
+    }
+    rows = ScenarioRunner().run_sweep(
+        base, grid, executor=executor, max_workers=max_workers
+    )
+    table: List[Dict[str, Any]] = []
+    for row in rows:
+        entry: Dict[str, Any] = {"topology": row["topology"]["kind"]}
+        entry["survived"] = row["final_topology"] == entry["topology"]
+        for column in EMERGENCE_COLUMNS:
+            if column in ("topology", "survived"):
+                continue
+            entry[column] = row[column]
+        table.append(entry)
+    return table

@@ -24,7 +24,11 @@ Subcommands:
 * ``attack`` — run the adversarial traffic engine against a topology
   (jamming / depletion / griefing) and report the damage vs. an honest
   baseline; ``--compare`` sweeps the budget over the star / path / circle
-  equilibria and prints the resilience table.
+  equilibria and prints the resilience table;
+* ``evolve`` — run the epoch-based network evolution engine (arrivals,
+  churn, traffic epochs, best-response dynamics) on a topology and emit
+  the JSON trajectory; ``--emergence`` sweeps the Section IV topologies
+  and prints the emergence table instead.
 """
 
 from __future__ import annotations
@@ -45,7 +49,10 @@ from .equilibrium import (
 from .scenarios import (
     AlgorithmSpec,
     AttackSpec,
+    ChurnSpec,
+    EvolutionSpec,
     FeeSpec,
+    GrowthSpec,
     Scenario,
     ScenarioRunner,
     SimulationSpec,
@@ -350,6 +357,90 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from .analysis.emergence import EMERGENCE_COLUMNS, emergence_table
+
+    if args.emergence:
+        rows = emergence_table(
+            epochs=args.epochs,
+            size=args.size,
+            balance=args.balance,
+            seed=args.seed,
+            arrival_rate=args.arrival_rate,
+            churn_rate=args.churn_rate,
+            utility=args.utility,
+            traffic_horizon=args.horizon,
+            a=args.a,
+            b=args.b,
+            edge_cost=args.edge_cost,
+            zipf_s=args.zipf_s,
+            sample=args.sample,
+            mode=args.mode,
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+        print(format_table(
+            rows,
+            columns=list(EMERGENCE_COLUMNS),
+            title="topology emergence under evolution",
+        ))
+        return 0
+
+    growth = None
+    if args.arrival_rate > 0:
+        growth = GrowthSpec("poisson", {
+            "rate": args.arrival_rate,
+            "algorithm": args.join_algorithm,
+            "params": (
+                {"budget": args.join_budget, "lock": 1.0}
+                if args.join_algorithm == "greedy" else {}
+            ),
+        })
+    churn = None
+    if args.churn_rate > 0:
+        churn = ChurnSpec("uniform", {"rate": args.churn_rate})
+    size_param = _ATTACK_TOPOLOGY_SIZE_PARAM[args.topology]
+    size = args.size - 1 if args.topology == "star" else args.size
+    scenario = Scenario(
+        topology=TopologySpec(
+            args.topology,
+            {size_param: size, "balance": args.balance}
+            if args.topology != "ba" else {"n": args.size},
+        ),
+        workload=WorkloadSpec("poisson", {"zipf_s": args.zipf_s}),
+        fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+        evolution=EvolutionSpec(
+            epochs=args.epochs,
+            growth=growth,
+            churn=churn,
+            utility=args.utility,
+            traffic_horizon=args.horizon,
+            sample=args.sample,
+            mode=args.mode,
+            # best-response channels match the topology's funding, so
+            # empirical replays don't starve deviators of liquidity
+            # (ba draws its own capacities; the spec default stands)
+            balance=args.balance if args.topology != "ba" else 1.0,
+            a=args.a,
+            b=args.b,
+            edge_cost=args.edge_cost,
+            zipf_s=args.zipf_s,
+        ),
+        name="evolve",
+        seed=args.seed,
+    )
+    trajectory = ScenarioRunner().run(scenario).evolution
+    document = trajectory.to_json()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document + "\n")
+        print(f"wrote trajectory ({trajectory.epochs_run} epochs) "
+              f"-> {args.output}")
+    else:
+        print(document)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lightning-creation-games",
@@ -522,6 +613,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="process-pool size"
     )
     p_atk.set_defaults(func=_cmd_attack)
+
+    p_ev = sub.add_parser(
+        "evolve",
+        help="evolve a topology over epochs of arrivals, churn, traffic "
+        "and best-response dynamics; prints the JSON trajectory",
+    )
+    p_ev.add_argument(
+        "--topology",
+        choices=sorted(_ATTACK_TOPOLOGY_SIZE_PARAM),
+        default="star",
+    )
+    p_ev.add_argument(
+        "--size", type=int, default=6, help="number of nodes (all topologies)"
+    )
+    p_ev.add_argument(
+        "--balance", type=float, default=10.0,
+        help="per-side channel balance of the built topology "
+        "(ignored for --topology ba)",
+    )
+    p_ev.add_argument("--epochs", type=int, default=10)
+    p_ev.add_argument("--seed", type=int, default=7)
+    p_ev.add_argument(
+        "--arrival-rate", dest="arrival_rate", type=float, default=0.0,
+        help="mean Poisson arrivals per epoch (0 disables growth)",
+    )
+    p_ev.add_argument(
+        "--join-algorithm", dest="join_algorithm",
+        choices=["greedy", "random-attach"], default="greedy",
+        help="how arriving nodes place their channels",
+    )
+    p_ev.add_argument(
+        "--join-budget", dest="join_budget", type=float, default=4.0,
+        help="budget of each arriving node (greedy join only)",
+    )
+    p_ev.add_argument(
+        "--churn-rate", dest="churn_rate", type=float, default=0.0,
+        help="per-node departure probability per epoch (0 disables churn)",
+    )
+    p_ev.add_argument(
+        "--horizon", type=float, default=20.0,
+        help="traffic-epoch length in simulated time units (batched "
+        "backend; 0 disables traffic)",
+    )
+    p_ev.add_argument(
+        "--utility", choices=["analytic", "empirical"], default="analytic",
+        help="what best responses maximise: the Section IV closed form or "
+        "the revenue observed by replaying the epoch's traffic",
+    )
+    p_ev.add_argument(
+        "--sample", type=int, default=None,
+        help="nodes swept per best-response phase (default: all)",
+    )
+    p_ev.add_argument(
+        "--mode", choices=["structured", "exhaustive", "sampled"],
+        default="structured", help="deviation family per swept node",
+    )
+    p_ev.add_argument("-a", type=float, default=0.1)
+    p_ev.add_argument("-b", type=float, default=0.1)
+    p_ev.add_argument("--edge-cost", dest="edge_cost", type=float, default=1.0)
+    p_ev.add_argument("--zipf-s", dest="zipf_s", type=float, default=2.0)
+    p_ev.add_argument(
+        "--output", help="write the JSON trajectory here instead of stdout"
+    )
+    p_ev.add_argument(
+        "--emergence", action="store_true",
+        help="sweep star/path/circle with these settings and print the "
+        "emergence table instead of one trajectory",
+    )
+    p_ev.add_argument(
+        "--executor", choices=["serial", "process"], default="serial",
+        help="grid executor for --emergence",
+    )
+    p_ev.add_argument(
+        "--workers", type=int, default=None, help="process-pool size"
+    )
+    p_ev.set_defaults(func=_cmd_evolve)
     return parser
 
 

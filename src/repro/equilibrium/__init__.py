@@ -13,6 +13,7 @@ from .deviations import (
     Deviation,
     apply_deviation,
     exhaustive_deviations,
+    sampled_deviations,
     structured_deviations,
 )
 from .diameter import (
@@ -21,6 +22,8 @@ from .diameter import (
     longest_shortest_path_through,
 )
 from .nash import (
+    DynamicsMove,
+    DynamicsReport,
     NashReport,
     NodeBestResponse,
     best_response,
@@ -39,6 +42,8 @@ from .topologies import CENTER, circle, complete, node_labels, path, star
 __all__ = [
     "CENTER",
     "Deviation",
+    "DynamicsMove",
+    "DynamicsReport",
     "HubPathAnalysis",
     "NashReport",
     "NetworkGameModel",
@@ -62,6 +67,7 @@ __all__ = [
     "longest_shortest_path_through",
     "node_labels",
     "path",
+    "sampled_deviations",
     "star",
     "star_ne_closed_form",
     "star_ne_conditions",

@@ -28,6 +28,7 @@ __all__ = [
     "apply_deviation",
     "structured_deviations",
     "exhaustive_deviations",
+    "sampled_deviations",
 ]
 
 
@@ -139,6 +140,64 @@ def structured_deviations(
             seen.add(key)
             deviations.append(deviation)
     return deviations
+
+
+def sampled_deviations(
+    graph: ChannelGraph,
+    node: Hashable,
+    moves: int = 8,
+    seed: Optional[int] = None,
+) -> List[Deviation]:
+    """A bounded random family of single-channel moves for large graphs.
+
+    :func:`structured_deviations` enumerates all small addition subsets,
+    which is quadratic in the number of non-neighbors — unusable when an
+    evolution run sweeps nodes of a 500-node network every epoch. This
+    family instead draws at most ``moves`` deviations from the three
+    one-channel move classes (add one, remove one, swap one for one),
+    split as evenly as the candidate pools allow. Deterministic for a
+    given ``seed``; deduplicated; may return fewer than ``moves`` when
+    the pools are small.
+    """
+    if node not in graph:
+        raise NodeNotFound(node)
+    if moves < 1:
+        raise InvalidParameter(f"moves must be >= 1, got {moves}")
+    rng = np.random.default_rng(seed)
+    neighbors = sorted(graph.neighbors(node), key=str)
+    non_neighbors = sorted(
+        (v for v in graph.nodes if v != node and not graph.has_channel(node, v)),
+        key=str,
+    )
+
+    def pick(pool: List[Hashable], count: int) -> List[Hashable]:
+        count = min(count, len(pool))
+        if count <= 0:
+            return []
+        chosen = rng.choice(len(pool), size=count, replace=False)
+        return [pool[i] for i in sorted(chosen)]
+
+    per_class = max(1, moves // 3)
+    seen = set()
+    out: List[Deviation] = []
+    candidates = chain(
+        (Deviation(remove=frozenset(), add=frozenset([peer]))
+         for peer in pick(non_neighbors, per_class)),
+        (Deviation(remove=frozenset([peer]), add=frozenset())
+         for peer in pick(neighbors, per_class)),
+        (Deviation(remove=frozenset([old]), add=frozenset([new]))
+         for old, new in zip(
+             pick(neighbors, moves), pick(non_neighbors, moves))),
+    )
+    for deviation in candidates:
+        key = (deviation.remove, deviation.add)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(deviation)
+        if len(out) >= moves:
+            break
+    return out
 
 
 def exhaustive_deviations(

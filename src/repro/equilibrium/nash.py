@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import InvalidParameter
 from ..network.graph import ChannelGraph
@@ -18,11 +18,20 @@ from .deviations import (
     Deviation,
     apply_deviation,
     exhaustive_deviations,
+    sampled_deviations,
     structured_deviations,
 )
 from .node_utility import NetworkGameModel
 
-__all__ = ["NodeBestResponse", "NashReport", "best_response", "check_nash", "best_response_dynamics"]
+__all__ = [
+    "DynamicsMove",
+    "DynamicsReport",
+    "NodeBestResponse",
+    "NashReport",
+    "best_response",
+    "check_nash",
+    "best_response_dynamics",
+]
 
 
 @dataclass
@@ -74,7 +83,11 @@ def _deviation_family(
         return structured_deviations(graph, node, seed=seed)
     if mode == "exhaustive":
         return exhaustive_deviations(graph, node)
-    raise InvalidParameter(f"mode must be structured/exhaustive, got {mode!r}")
+    if mode == "sampled":
+        return sampled_deviations(graph, node, seed=seed)
+    raise InvalidParameter(
+        f"mode must be structured/exhaustive/sampled, got {mode!r}"
+    )
 
 
 def best_response(
@@ -85,16 +98,24 @@ def best_response(
     tolerance: float = 1e-9,
     balance: float = 1.0,
     seed: Optional[int] = None,
+    deviations: Optional[Sequence[Deviation]] = None,
 ) -> NodeBestResponse:
     """Best deviation for ``node`` within the chosen family.
 
     ``tolerance`` guards against declaring instability on floating-point
     noise: a deviation must improve by more than ``tolerance``.
+    ``model`` may be any object with a ``node_utility(graph, node)``
+    method — the analytic :class:`NetworkGameModel` or an empirical
+    provider from :mod:`repro.evolution.utility`. An explicit
+    ``deviations`` sequence overrides the ``mode`` family (used by the
+    evolution engine to enforce per-node move budgets).
     """
     base = model.node_utility(graph, node)
     best_utility = base
     best_deviation: Optional[Deviation] = None
-    for deviation in _deviation_family(graph, node, mode, seed):
+    if deviations is None:
+        deviations = _deviation_family(graph, node, mode, seed)
+    for deviation in deviations:
         deviated = apply_deviation(graph, node, deviation, balance=balance)
         utility = model.node_utility(deviated, node)
         if utility > best_utility + tolerance:
@@ -131,6 +152,39 @@ def check_nash(
     return report
 
 
+@dataclass(frozen=True)
+class DynamicsMove:
+    """One applied improving move of a best-response dynamics round."""
+
+    node: Hashable
+    deviation: Deviation
+    gain: float
+
+
+@dataclass(frozen=True, eq=False)
+class DynamicsReport:
+    """Outcome of one :func:`best_response_dynamics` run.
+
+    Iterable as the historical ``(final_graph, rounds, converged)``
+    triple, so ``final, rounds, ok = best_response_dynamics(...)`` keeps
+    working; ``moves`` additionally records every applied improving move
+    per round (the final, quiet round of a converged run is an empty
+    tuple).
+    """
+
+    graph: ChannelGraph
+    rounds: int
+    converged: bool
+    moves: Tuple[Tuple[DynamicsMove, ...], ...] = ()
+
+    @property
+    def total_moves(self) -> int:
+        return sum(len(round_moves) for round_moves in self.moves)
+
+    def __iter__(self) -> Iterator:
+        return iter((self.graph, self.rounds, self.converged))
+
+
 def best_response_dynamics(
     graph: ChannelGraph,
     model: NetworkGameModel,
@@ -139,17 +193,19 @@ def best_response_dynamics(
     tolerance: float = 1e-9,
     balance: float = 1.0,
     seed: Optional[int] = None,
-) -> tuple:
+) -> DynamicsReport:
     """Iterate best responses until no node improves (or ``max_rounds``).
 
-    Returns ``(final_graph, rounds_used, converged)``. Each round sweeps
+    Returns a :class:`DynamicsReport` (iterable as the historical
+    ``(final_graph, rounds_used, converged)`` triple). Each round sweeps
     nodes in canonical order and applies the first strictly improving best
     response found; NP-hardness of exact dynamics (Thm 2 of [19]) means
     this is a heuristic exploration tool, not a decision procedure.
     """
     current = graph.copy()
+    rounds: List[Tuple[DynamicsMove, ...]] = []
     for round_index in range(max_rounds):
-        improved = False
+        round_moves: List[DynamicsMove] = []
         for node in sorted(current.nodes, key=str):
             response = best_response(
                 current, node, model, mode=mode, tolerance=tolerance,
@@ -159,7 +215,18 @@ def best_response_dynamics(
                 current = apply_deviation(
                     current, node, response.best_deviation, balance=balance
                 )
-                improved = True
-        if not improved:
-            return current, round_index + 1, True
-    return current, max_rounds, False
+                round_moves.append(DynamicsMove(
+                    node=node,
+                    deviation=response.best_deviation,
+                    gain=response.gain,
+                ))
+        rounds.append(tuple(round_moves))
+        if not round_moves:
+            return DynamicsReport(
+                graph=current, rounds=round_index + 1, converged=True,
+                moves=tuple(rounds),
+            )
+    return DynamicsReport(
+        graph=current, rounds=max_rounds, converged=False,
+        moves=tuple(rounds),
+    )

@@ -1,0 +1,73 @@
+"""Scenario -> evolution-engine wiring (the ``evolution`` stage driver).
+
+Mirrors :class:`~repro.attacks.runner.AttackRunner`: resolves the
+scenario's specs through :mod:`repro.scenarios.factory` (topology,
+workload, fee, growth, churn) and drives one
+:class:`~repro.evolution.engine.EvolutionEngine` run. The scenario's
+``workload``/``fee`` sections configure the per-epoch traffic exactly
+like a plain simulation stage would — same builders, same seed
+injection — with per-epoch workload seeds derived from the scenario
+seed so epochs see decorrelated (but reproducible) traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScenarioError
+from ..network.graph import ChannelGraph
+from ..scenarios.factory import (
+    build_churn,
+    build_fee,
+    build_growth,
+    build_topology,
+    build_workload,
+)
+from ..scenarios.specs import Scenario
+from ..transactions.workload import PoissonWorkload
+from .engine import EvolutionEngine
+from .trajectory import Trajectory
+
+__all__ = ["EvolutionOutcome", "EvolutionRunner"]
+
+
+@dataclass
+class EvolutionOutcome:
+    """What one evolution stage produced: the final graph + trajectory."""
+
+    graph: ChannelGraph
+    trajectory: Trajectory
+
+
+class EvolutionRunner:
+    """Executes the ``evolution`` stage of a scenario."""
+
+    def run(self, scenario: Scenario) -> EvolutionOutcome:
+        spec = scenario.evolution
+        if spec is None:
+            raise ScenarioError("scenario has no evolution section")
+        graph = build_topology(scenario.topology, seed=scenario.seed)
+        growth = None if spec.growth is None else build_growth(spec.growth)
+        churn = None if spec.churn is None else build_churn(spec.churn)
+        fee = build_fee(scenario)
+        scenario_doc = scenario.to_dict()
+
+        def workload_factory(
+            epoch_graph: ChannelGraph, seed: int
+        ) -> PoissonWorkload:
+            epoch_scenario = Scenario.from_dict(
+                {**scenario_doc, "seed": seed}
+            )
+            return build_workload(epoch_scenario, epoch_graph)
+
+        engine = EvolutionEngine(
+            graph,
+            spec,
+            growth=growth,
+            churn=churn,
+            workload_factory=workload_factory,
+            fee=fee,
+            seed=scenario.seed,
+        )
+        trajectory = engine.run()
+        return EvolutionOutcome(graph=engine.graph, trajectory=trajectory)

@@ -142,6 +142,17 @@ class MppRouter:
         digraph = self.graph.view(directed=True).to_networkx()
         if sender not in digraph or receiver not in digraph:
             return 0.0
+        # networkx's preflow-push crashes on subnormal capacities (its
+        # relabel step finds no admissible neighbor); such balances
+        # cannot carry a payment anyway, so floor them to zero on a copy.
+        tiny = [
+            (u, v) for u, v, balance in digraph.edges(data="balance")
+            if 0.0 < balance < 1e-12
+        ]
+        if tiny:
+            digraph = digraph.copy()
+            for u, v in tiny:
+                digraph[u][v]["balance"] = 0.0
         value, _flows = nx.maximum_flow(
             digraph, sender, receiver, capacity="balance"
         )

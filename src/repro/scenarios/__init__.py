@@ -41,21 +41,28 @@ from .grid import derive_seed, evaluate_grid, grid_points
 from .registry import (
     ALGORITHMS,
     ATTACKS,
+    CHURN,
     FEES,
+    GROWTH,
     JoinAlgorithm,
     Registry,
     TOPOLOGIES,
     WORKLOADS,
     register_algorithm,
     register_attack,
+    register_churn,
     register_fee,
+    register_growth,
     register_topology,
     register_workload,
 )
 from .specs import (
     AlgorithmSpec,
     AttackSpec,
+    ChurnSpec,
+    EvolutionSpec,
     FeeSpec,
+    GrowthSpec,
     Scenario,
     SimulationSpec,
     TopologySpec,
@@ -67,8 +74,10 @@ if TYPE_CHECKING:  # pragma: no cover - lazy at runtime, eager for typing
         ScenarioResult,
         ScenarioRunner,
         build_batched_engine,
+        build_churn,
         build_engine,
         build_fee,
+        build_growth,
         build_simulation_engine,
         build_topology,
         build_workload,
@@ -79,8 +88,13 @@ __all__ = [
     "ATTACKS",
     "AlgorithmSpec",
     "AttackSpec",
+    "CHURN",
+    "ChurnSpec",
+    "EvolutionSpec",
     "FEES",
     "FeeSpec",
+    "GROWTH",
+    "GrowthSpec",
     "JoinAlgorithm",
     "Registry",
     "Scenario",
@@ -92,8 +106,10 @@ __all__ = [
     "WORKLOADS",
     "WorkloadSpec",
     "build_batched_engine",
+    "build_churn",
     "build_engine",
     "build_fee",
+    "build_growth",
     "build_simulation_engine",
     "build_topology",
     "build_workload",
@@ -102,7 +118,9 @@ __all__ = [
     "grid_points",
     "register_algorithm",
     "register_attack",
+    "register_churn",
     "register_fee",
+    "register_growth",
     "register_topology",
     "register_workload",
 ]
@@ -111,8 +129,10 @@ _LAZY_RUNNER_EXPORTS = (
     "ScenarioResult",
     "ScenarioRunner",
     "build_batched_engine",
+    "build_churn",
     "build_engine",
     "build_fee",
+    "build_growth",
     "build_simulation_engine",
     "build_topology",
     "build_workload",

@@ -21,13 +21,15 @@ from ..errors import ScenarioError
 from ..network.graph import ChannelGraph
 from ..simulation.engine import SimulationEngine
 from ..simulation.fastpath import BatchedSimulationEngine
-from .registry import FEES, TOPOLOGIES, WORKLOADS
+from .registry import CHURN, FEES, GROWTH, TOPOLOGIES, WORKLOADS
 from .specs import Scenario, WorkloadSpec
 
 __all__ = [
     "build_batched_engine",
+    "build_churn",
     "build_engine",
     "build_fee",
+    "build_growth",
     "build_simulation_engine",
     "build_topology",
     "build_workload",
@@ -51,6 +53,8 @@ def _ensure_providers() -> None:
     from ..attacks import strategies  # noqa: F401  (jamming, ...)
     from ..core import algorithms  # noqa: F401  (greedy, ...)
     from ..equilibrium import topologies  # noqa: F401  (star, path, ...)
+    from ..evolution import churn  # noqa: F401  (uniform, degree-biased)
+    from ..evolution import growth  # noqa: F401  (poisson, fixed, random-attach)
     from ..network import fees  # noqa: F401  (constant, linear, ...)
     from ..snapshots import io  # noqa: F401  (topology: file)
     from ..snapshots import synthetic  # noqa: F401  (ba, ...)
@@ -121,6 +125,30 @@ def build_fee(scenario: Scenario):
         raise ScenarioError(
             f"fee {scenario.fee.kind!r} rejected params "
             f"{scenario.fee.params!r}: {exc}"
+        ) from exc
+
+
+def build_growth(spec):
+    """Resolve and invoke a growth (arrival-process) builder."""
+    _ensure_providers()
+    builder = GROWTH.get(spec.kind)
+    try:
+        return builder(**spec.params)
+    except TypeError as exc:
+        raise ScenarioError(
+            f"growth {spec.kind!r} rejected params {spec.params!r}: {exc}"
+        ) from exc
+
+
+def build_churn(spec):
+    """Resolve and invoke a churn (departure-process) builder."""
+    _ensure_providers()
+    builder = CHURN.get(spec.kind)
+    try:
+        return builder(**spec.params)
+    except TypeError as exc:
+        raise ScenarioError(
+            f"churn {spec.kind!r} rejected params {spec.params!r}: {exc}"
         ) from exc
 
 

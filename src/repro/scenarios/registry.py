@@ -50,14 +50,18 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
 __all__ = [
     "ALGORITHMS",
     "ATTACKS",
+    "CHURN",
     "FEES",
+    "GROWTH",
     "JoinAlgorithm",
     "Registry",
     "TOPOLOGIES",
     "WORKLOADS",
     "register_algorithm",
     "register_attack",
+    "register_churn",
     "register_fee",
+    "register_growth",
     "register_topology",
     "register_workload",
 ]
@@ -144,9 +148,19 @@ WORKLOADS = Registry("workload")
 #: Attack-strategy builders: key -> ``(**params) -> AttackStrategy``
 #: (see :mod:`repro.attacks.strategies` for the protocol and builtins).
 ATTACKS = Registry("attack")
+#: Arrival-process builders for network evolution:
+#: key -> ``(**params) -> ArrivalProcess``
+#: (see :mod:`repro.evolution.growth` for the protocol and builtins).
+GROWTH = Registry("growth")
+#: Departure-process builders for network evolution:
+#: key -> ``(**params) -> ChurnProcess``
+#: (see :mod:`repro.evolution.churn`).
+CHURN = Registry("churn")
 
 register_topology = TOPOLOGIES.register
 register_algorithm = ALGORITHMS.register
 register_fee = FEES.register
 register_workload = WORKLOADS.register
 register_attack = ATTACKS.register
+register_growth = GROWTH.register
+register_churn = CHURN.register

@@ -37,6 +37,8 @@ from typing import (
 # Imported for the side effect of registering the builtin plugins.
 from ..attacks import strategies as _attack_strategies  # noqa: F401  (jamming, ...)
 from ..core import algorithms as _algorithms  # noqa: F401  (greedy, ...)
+from ..evolution import churn as _churn  # noqa: F401  (uniform, ...)
+from ..evolution import growth as _growth  # noqa: F401  (poisson, ...)
 from ..core.algorithms.common import OptimisationResult
 from ..core.utility import JoiningUserModel
 from ..equilibrium import topologies  # noqa: F401  (star, path, circle, ...)
@@ -50,8 +52,10 @@ from ..snapshots import synthetic  # noqa: F401  (topologies: ba, ...)
 from ..transactions import workload as _workloads  # noqa: F401  (poisson)
 from .factory import (  # noqa: F401  (re-exported: the historical home)
     build_batched_engine,
+    build_churn,
     build_engine,
     build_fee,
+    build_growth,
     build_simulation_engine,
     build_topology,
     build_workload,
@@ -62,13 +66,16 @@ from .specs import Scenario, SimulationSpec
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
     from ..attacks.report import AttackReport
+    from ..evolution.trajectory import Trajectory
 
 __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "build_batched_engine",
+    "build_churn",
     "build_engine",
     "build_fee",
+    "build_growth",
     "build_simulation_engine",
     "build_topology",
     "build_workload",
@@ -103,6 +110,9 @@ class ScenarioResult:
     #: metrics of the *attacked* run).
     attack: Optional["AttackReport"] = None
     baseline_metrics: Optional[SimulationMetrics] = None
+    #: Present when the scenario had an ``evolution`` stage: the full
+    #: per-epoch trajectory (``graph`` then holds the evolved graph).
+    evolution: Optional["Trajectory"] = None
 
     def view(self, directed: bool = True, reduced: float = 0.0) -> GraphView:
         """An immutable CSR snapshot of the (post-run) result graph.
@@ -125,6 +135,12 @@ class ScenarioResult:
             parts.append(self.optimisation.summary())
         if self.metrics is not None:
             parts.append(self.metrics.summary())
+        if self.evolution is not None:
+            parts.append(
+                f"evolved {self.evolution.epochs_run} epochs "
+                f"(converged={self.evolution.converged}, "
+                f"final={self.evolution.final_topology})"
+            )
         if len(parts) == 1 and self.graph is not None:
             parts.append(
                 f"{len(self.graph)} nodes, {self.graph.num_channels()} channels"
@@ -165,6 +181,23 @@ class ScenarioRunner:
                        channels=outcome.graph.num_channels())
             self._simulation_columns(row, outcome.attacked_metrics)
             row.update(outcome.report.to_row())
+            return result
+        if scenario.evolution is not None:
+            # The evolution stage owns topology construction too: its
+            # engine mutates the graph across epochs, so the result's
+            # graph is the *evolved* network, not the spec's topology.
+            from ..evolution.runner import EvolutionRunner
+
+            outcome = EvolutionRunner().run(scenario)
+            result = ScenarioResult(
+                scenario=scenario,
+                row=row,
+                graph=outcome.graph,
+                evolution=outcome.trajectory,
+            )
+            row.update(nodes=len(outcome.graph),
+                       channels=outcome.graph.num_channels())
+            row.update(outcome.trajectory.row())
             return result
         graph = build_topology(scenario.topology, seed=scenario.seed)
         row.update(nodes=len(graph), channels=graph.num_channels())

@@ -40,7 +40,10 @@ from ..errors import ScenarioError
 __all__ = [
     "AlgorithmSpec",
     "AttackSpec",
+    "ChurnSpec",
+    "EvolutionSpec",
     "FeeSpec",
+    "GrowthSpec",
     "Scenario",
     "SimulationSpec",
     "TopologySpec",
@@ -150,6 +153,170 @@ class AttackSpec(_PluginSpec):
     ``slot_cap`` param (applied by the attack runner to both the baseline
     and the attacked graph) sets ``max_accepted_htlcs`` on every channel.
     """
+
+
+@dataclass(frozen=True)
+class GrowthSpec(_PluginSpec):
+    """The arrival process of an evolution run.
+
+    Builtin kinds (see :mod:`repro.evolution.growth`): ``"poisson"``
+    (params: ``rate`` arrivals per epoch) and ``"fixed"`` (params:
+    ``per_epoch``). Both accept ``algorithm`` (a
+    :class:`JoinAlgorithm <repro.scenarios.registry.JoinAlgorithm>`
+    registry key, default ``"greedy"``), ``params`` for it (e.g.
+    ``{"budget": 4.0, "lock": 1.0}``), and ``model`` —
+    :class:`~repro.params.ModelParameters` overrides for the joining
+    user's utility.
+    """
+
+
+@dataclass(frozen=True)
+class ChurnSpec(_PluginSpec):
+    """The departure process of an evolution run.
+
+    Builtin kinds (see :mod:`repro.evolution.churn`): ``"uniform"``
+    (params: ``rate`` — per-node departure probability per epoch) and
+    ``"degree-biased"`` (params: ``rate``, ``bias`` — positive bias
+    prefers hubs, negative prefers leaves). Both accept ``min_nodes``
+    (departures stop once the network would shrink below it, default 3).
+    """
+
+
+@dataclass(frozen=True)
+class EvolutionSpec:
+    """Epoch-based network evolution settings (no plugin key).
+
+    Each epoch runs: arrivals (``growth``), departures (``churn``,
+    realising closure costs through
+    :class:`~repro.network.lifecycle.ChannelLifecycle` at
+    ``onchain_fee``), a traffic epoch of ``traffic_horizon`` time units
+    on the batched backend, and a best-response phase that sweeps
+    ``sample`` nodes (all when ``None``) over the ``mode`` deviation
+    family (``"structured"``, ``"exhaustive"``, or ``"sampled"`` with
+    ``moves_per_node`` candidates) and applies strictly improving moves
+    adding at most ``add_budget`` channels each.
+
+    ``utility`` picks the provider the best-response phase maximises:
+    ``"analytic"`` is the Section IV :class:`NetworkGameModel
+    <repro.equilibrium.node_utility.NetworkGameModel>` on (``a``, ``b``,
+    ``edge_cost``, ``zipf_s``); ``"empirical"`` replays the epoch's
+    traffic trace on each candidate graph and scores
+    ``revenue - fees_paid - edge_cost * degree``.
+
+    The run stops early once ``patience`` consecutive epochs saw no
+    arrival, no departure, and no improving move — provided no
+    stochastic growth/churn process remains active (a randomly quiet
+    epoch of a live process is not convergence). When
+    ``final_nash_check`` is true the trajectory's headline row certifies
+    the final graph with a full :func:`check_nash
+    <repro.equilibrium.nash.check_nash>` sweep (disable for large
+    networks).
+    """
+
+    epochs: int = 10
+    growth: Optional[GrowthSpec] = None
+    churn: Optional[ChurnSpec] = None
+    utility: str = "analytic"
+    traffic_horizon: float = 20.0
+    sample: Optional[int] = None
+    mode: str = "structured"
+    moves_per_node: int = 8
+    tolerance: float = 1e-9
+    balance: float = 1.0
+    add_budget: Optional[int] = None
+    patience: int = 2
+    a: float = 1.0
+    b: float = 1.0
+    edge_cost: float = 1.0
+    zipf_s: float = 1.0
+    onchain_fee: float = 0.1
+    final_nash_check: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.epochs, int) or isinstance(self.epochs, bool) \
+                or self.epochs < 1:
+            raise ScenarioError(
+                f"EvolutionSpec.epochs must be an int >= 1, got {self.epochs!r}"
+            )
+        for name, spec_cls in (("growth", GrowthSpec), ("churn", ChurnSpec)):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, spec_cls):
+                raise ScenarioError(
+                    f"EvolutionSpec.{name} must be a {spec_cls.__name__} "
+                    f"or None, got {type(value).__name__}"
+                )
+        if self.utility not in ("analytic", "empirical"):
+            raise ScenarioError(
+                "EvolutionSpec.utility must be 'analytic' or 'empirical', "
+                f"got {self.utility!r}"
+            )
+        if self.mode not in ("structured", "exhaustive", "sampled"):
+            raise ScenarioError(
+                "EvolutionSpec.mode must be 'structured', 'exhaustive' or "
+                f"'sampled', got {self.mode!r}"
+            )
+        for name in (
+            "traffic_horizon", "tolerance", "balance",
+            "a", "b", "edge_cost", "zipf_s", "onchain_fee",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ScenarioError(
+                    f"EvolutionSpec.{name} must be a number, got {value!r}"
+                )
+            if value < 0:
+                raise ScenarioError(
+                    f"EvolutionSpec.{name} must be >= 0, got {value}"
+                )
+        if self.balance <= 0:
+            raise ScenarioError(
+                f"EvolutionSpec.balance must be > 0, got {self.balance}"
+            )
+        for name, minimum in (
+            ("sample", 1), ("add_budget", 0), ("moves_per_node", 1),
+            ("patience", 1),
+        ):
+            value = getattr(self, name)
+            if value is None and name in ("sample", "add_budget"):
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise ScenarioError(
+                    f"EvolutionSpec.{name} must be an int >= {minimum}"
+                    f"{' or None' if name in ('sample', 'add_budget') else ''}"
+                    f", got {value!r}"
+                )
+        if self.utility == "empirical" and self.traffic_horizon <= 0:
+            raise ScenarioError(
+                "EvolutionSpec.utility='empirical' needs traffic epochs: "
+                "set traffic_horizon > 0"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name in ("growth", "churn"):
+                doc[spec_field.name] = None if value is None else value.to_dict()
+            else:
+                doc[spec_field.name] = value
+        return doc
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "EvolutionSpec":
+        document = _require_mapping(document, "EvolutionSpec")
+        known = {f.name for f in fields(cls)}
+        unknown = set(document) - known
+        if unknown:
+            raise ScenarioError(
+                f"unknown EvolutionSpec fields: {sorted(unknown)}"
+            )
+        kwargs = dict(document)
+        for key, spec_cls in (("growth", GrowthSpec), ("churn", ChurnSpec)):
+            raw = kwargs.get(key)
+            if raw is not None:
+                kwargs[key] = spec_cls.from_dict(raw)
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -287,9 +454,12 @@ class Scenario:
     ``simulation`` (with an optional ``workload`` and ``fee``) drives the
     discrete-event simulator; adding an ``attack`` (requires a
     ``simulation``) runs the adversarial traffic engine, which simulates
-    an honest baseline and an attacked run and reports the damage. The
-    single ``seed`` feeds every stochastic stage, so a scenario is a
-    complete, reproducible experiment record.
+    an honest baseline and an attacked run and reports the damage; adding
+    an ``evolution`` stage (which embeds its own per-epoch traffic, so it
+    excludes the other optional stages) runs the epoch-based network
+    evolution engine over the topology. The single ``seed`` feeds every
+    stochastic stage, so a scenario is a complete, reproducible
+    experiment record.
     """
 
     topology: TopologySpec
@@ -298,6 +468,7 @@ class Scenario:
     algorithm: Optional[AlgorithmSpec] = None
     simulation: Optional[SimulationSpec] = None
     attack: Optional[AttackSpec] = None
+    evolution: Optional[EvolutionSpec] = None
     name: str = "scenario"
     seed: int = 0
 
@@ -328,6 +499,30 @@ class Scenario:
                     "baseline/attacked pair, which would discard the "
                     "optimiser's joined channels"
                 )
+        if self.evolution is not None:
+            if not isinstance(self.evolution, EvolutionSpec):
+                raise ScenarioError(
+                    "Scenario.evolution must be an EvolutionSpec, "
+                    f"got {type(self.evolution).__name__}"
+                )
+            if self.simulation is not None:
+                raise ScenarioError(
+                    "an evolution stage embeds its own per-epoch traffic "
+                    "on the batched backend (EvolutionSpec.traffic_horizon)"
+                    "; drop the simulation section"
+                )
+            if self.attack is not None:
+                raise ScenarioError(
+                    "evolution and attack stages cannot be combined: the "
+                    "attack runner needs the event queue and a static "
+                    "baseline topology"
+                )
+            if self.algorithm is not None:
+                raise ScenarioError(
+                    "evolution and algorithm stages cannot be combined: "
+                    "arrivals join through the GrowthSpec's algorithm "
+                    "instead"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         """A plain-JSON document; optional stages are omitted when unset."""
@@ -337,7 +532,10 @@ class Scenario:
             "seed": self.seed,
             "topology": self.topology.to_dict(),
         }
-        for key in ("workload", "fee", "algorithm", "simulation", "attack"):
+        for key in (
+            "workload", "fee", "algorithm", "simulation", "attack",
+            "evolution",
+        ):
             spec = getattr(self, key)
             if spec is not None:
                 doc[key] = spec.to_dict()
@@ -349,6 +547,7 @@ class Scenario:
         known = {
             "schema_version", "name", "seed", "topology",
             "workload", "fee", "algorithm", "simulation", "attack",
+            "evolution",
         }
         unknown = set(document) - known
         if unknown:
@@ -373,6 +572,7 @@ class Scenario:
             algorithm=section("algorithm", AlgorithmSpec),
             simulation=section("simulation", SimulationSpec),
             attack=section("attack", AttackSpec),
+            evolution=section("evolution", EvolutionSpec),
             name=document.get("name", "scenario"),
             seed=document.get("seed", 0),
         )

@@ -1,0 +1,81 @@
+"""Emergence tables: do the Section IV topologies emerge and survive?"""
+
+import pytest
+
+from repro.analysis.emergence import (
+    EMERGENCE_COLUMNS,
+    default_evolution_scenario,
+    emergence_table,
+)
+from repro.scenarios import TopologySpec
+
+
+@pytest.fixture(scope="module")
+def quiet_table():
+    """No arrivals, no churn: pure best-response dynamics from each NE."""
+    return emergence_table(epochs=8, size=6, seed=7, traffic_horizon=4.0)
+
+
+class TestQuietDynamics:
+    def test_row_per_topology_with_columns(self, quiet_table):
+        assert [row["topology"] for row in quiet_table] == [
+            "star", "path", "circle",
+        ]
+        for row in quiet_table:
+            assert set(row) == set(EMERGENCE_COLUMNS)
+
+    def test_star_is_stable_fixpoint(self, quiet_table):
+        star_row = quiet_table[0]
+        assert star_row["survived"]
+        assert star_row["converged"]
+        assert star_row["nash_stable"] is True
+        assert star_row["final_max_gain"] == 0.0
+        assert star_row["total_moves"] == 0
+
+    def test_star_emerges_from_path_and_circle(self, quiet_table):
+        # at a=b=0.1, s=2, l=1 the star is the attractor: path and
+        # circle both rewire into a check_nash-stable star
+        for row in quiet_table[1:]:
+            assert row["final_topology"] == "star"
+            assert row["nash_stable"] is True
+            assert row["total_moves"] > 0
+
+    def test_star_survives_churn(self):
+        rows = emergence_table(
+            epochs=8, size=6, seed=7, churn_rate=0.05, traffic_horizon=4.0,
+        )
+        star_row = rows[0]
+        assert star_row["total_departures"] > 0
+        assert star_row["final_topology"] == "star"
+        assert star_row["nash_stable"] is True
+
+
+class TestExecutors:
+    def test_process_rows_match_serial(self):
+        kwargs = dict(epochs=4, size=5, seed=3, traffic_horizon=3.0)
+        serial = emergence_table(executor="serial", **kwargs)
+        process = emergence_table(
+            executor="process", max_workers=2, **kwargs
+        )
+        assert serial == process
+
+
+class TestScenarioFactory:
+    def test_default_scenario_round_trips(self):
+        scenario = default_evolution_scenario(
+            TopologySpec("star", {"leaves": 5}),
+            arrival_rate=1.0,
+            churn_rate=0.1,
+        )
+        from repro.scenarios import Scenario
+
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+        assert scenario.evolution.growth is not None
+        assert scenario.evolution.churn is not None
+
+    def test_zero_rates_mean_no_processes(self):
+        scenario = default_evolution_scenario(
+            TopologySpec("star", {"leaves": 5})
+        )
+        assert scenario.evolution.growth is None
+        assert scenario.evolution.churn is None

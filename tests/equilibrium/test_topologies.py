@@ -57,7 +57,7 @@ class TestCircle:
         assert all(graph.degree(v) == 2 for v in graph.nodes)
 
     def test_is_cycle(self):
-        undirected = circle(8).to_undirected()
+        undirected = circle(8).view(directed=False).to_networkx()
         assert nx.is_connected(undirected)
         assert all(d == 2 for _, d in undirected.degree())
 

@@ -1,0 +1,118 @@
+"""EvolutionSpec / GrowthSpec / ChurnSpec validation and round-trips."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    AlgorithmSpec,
+    AttackSpec,
+    ChurnSpec,
+    EvolutionSpec,
+    GrowthSpec,
+    Scenario,
+    SimulationSpec,
+    TopologySpec,
+)
+
+
+def full_spec() -> EvolutionSpec:
+    return EvolutionSpec(
+        epochs=4,
+        growth=GrowthSpec("poisson", {"rate": 2.0, "algorithm": "greedy",
+                                      "params": {"budget": 4.0, "lock": 1.0}}),
+        churn=ChurnSpec("uniform", {"rate": 0.1, "min_nodes": 4}),
+        utility="empirical",
+        traffic_horizon=5.0,
+        sample=3,
+        mode="sampled",
+        moves_per_node=6,
+        add_budget=2,
+        a=0.2,
+        b=0.3,
+        final_nash_check=False,
+    )
+
+
+class TestRoundTrip:
+    def test_spec_round_trips(self):
+        spec = full_spec()
+        assert EvolutionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_scenario_round_trips_with_evolution(self):
+        scenario = Scenario(
+            topology=TopologySpec("star", {"leaves": 5}),
+            evolution=full_spec(),
+            name="evo",
+            seed=3,
+        )
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_defaults_round_trip(self):
+        spec = EvolutionSpec()
+        assert EvolutionSpec.from_dict(spec.to_dict()) == spec
+        assert spec.growth is None and spec.churn is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"epochs": 0},
+        {"epochs": 1.5},
+        {"utility": "psychic"},
+        {"mode": "yolo"},
+        {"traffic_horizon": -1.0},
+        {"balance": 0.0},
+        {"sample": 0},
+        {"add_budget": -1},
+        {"moves_per_node": 0},
+        {"patience": 0},
+        {"a": -0.1},
+        {"onchain_fee": -2},
+        {"growth": {"kind": "poisson"}},
+        {"churn": "uniform"},
+        {"utility": "empirical", "traffic_horizon": 0.0},
+    ])
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ScenarioError):
+            EvolutionSpec(**kwargs)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ScenarioError, match="unknown EvolutionSpec"):
+            EvolutionSpec.from_dict({"epochs": 2, "bogus": 1})
+
+    def test_growth_spec_requires_kind(self):
+        with pytest.raises(ScenarioError):
+            GrowthSpec.from_dict({"params": {}})
+
+
+class TestScenarioExclusions:
+    def test_excludes_simulation(self):
+        with pytest.raises(ScenarioError, match="per-epoch traffic"):
+            Scenario(
+                topology=TopologySpec("star", {"leaves": 4}),
+                simulation=SimulationSpec(),
+                evolution=EvolutionSpec(),
+            )
+
+    def test_excludes_algorithm(self):
+        with pytest.raises(ScenarioError, match="GrowthSpec"):
+            Scenario(
+                topology=TopologySpec("star", {"leaves": 4}),
+                algorithm=AlgorithmSpec("greedy", {"budget": 2.0, "lock": 1.0}),
+                evolution=EvolutionSpec(),
+            )
+
+    def test_excludes_attack(self):
+        with pytest.raises(ScenarioError):
+            Scenario(
+                topology=TopologySpec("star", {"leaves": 4}),
+                attack=AttackSpec("slow-jamming", {"budget": 10.0}),
+                evolution=EvolutionSpec(),
+            )
+
+    def test_requires_spec_type(self):
+        with pytest.raises(ScenarioError, match="EvolutionSpec"):
+            Scenario(
+                topology=TopologySpec("star", {"leaves": 4}),
+                evolution={"epochs": 3},
+            )

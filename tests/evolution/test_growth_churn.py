@@ -1,0 +1,170 @@
+"""Arrival and departure processes, and the random-attach join algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.utility import JoiningUserModel
+from repro.errors import InvalidParameter, ScenarioError
+from repro.evolution import (
+    DegreeBiasedChurn,
+    FixedGrowth,
+    PoissonGrowth,
+    UniformChurn,
+    random_attach,
+)
+from repro.equilibrium.topologies import CENTER, star
+from repro.network.graph import ChannelGraph
+from repro.params import ModelParameters
+from repro.scenarios import ChurnSpec, GrowthSpec, build_churn, build_growth
+
+
+class TestRandomAttach:
+    def test_opens_k_channels(self):
+        graph = star(6)
+        model = JoiningUserModel(graph, "newbie", ModelParameters())
+        result = random_attach(model, k=3, lock=2.0, seed=1)
+        assert result.algorithm == "random-attach"
+        assert len(result.strategy) == 3
+        assert all(action.locked == 2.0 for action in result.strategy)
+        peers = {action.peer for action in result.strategy}
+        assert peers <= set(graph.nodes)
+
+    def test_deterministic_for_seed(self):
+        graph = star(8)
+        model = JoiningUserModel(graph, "newbie", ModelParameters())
+        first = random_attach(model, k=2, seed=5)
+        second = random_attach(model, k=2, seed=5)
+        assert list(first.strategy) == list(second.strategy)
+
+    def test_caps_k_at_population(self):
+        graph = ChannelGraph.from_edges([("a", "b")])
+        model = JoiningUserModel(graph, "c", ModelParameters())
+        result = random_attach(model, k=10, seed=0)
+        assert len(result.strategy) == 2
+
+    def test_rejects_bad_params(self):
+        graph = star(4)
+        model = JoiningUserModel(graph, "x", ModelParameters())
+        with pytest.raises(InvalidParameter):
+            random_attach(model, k=0)
+        with pytest.raises(InvalidParameter):
+            random_attach(model, lock=-1.0)
+
+
+class TestGrowth:
+    def test_fixed_growth_counts(self):
+        growth = FixedGrowth(per_epoch=3)
+        rng = np.random.default_rng(0)
+        assert growth.arrivals(rng) == 3
+
+    def test_poisson_growth_deterministic_and_rate_zero(self):
+        rng1 = np.random.default_rng(4)
+        rng2 = np.random.default_rng(4)
+        growth = PoissonGrowth(rate=2.5)
+        assert growth.arrivals(rng1) == growth.arrivals(rng2)
+        assert PoissonGrowth(rate=0.0).arrivals(rng1) == 0
+
+    def test_join_opens_channels_on_live_graph(self):
+        graph = star(5)
+        before = graph.num_channels()
+        growth = FixedGrowth(
+            per_epoch=1, algorithm="random-attach", params={"k": 2},
+        )
+        growth.join(graph, "n00000", seed=9)
+        assert "n00000" in graph
+        assert graph.num_channels() == before + 2
+        # dual-funded at the locked amount on both sides
+        for channel in graph.channels_of("n00000"):
+            assert channel.balance("n00000") == channel.balance(
+                channel.other("n00000")
+            )
+
+    def test_join_merges_parallel_actions(self):
+        # a strategy naming the same peer twice must still yield a
+        # simple graph (batched-backend requirement)
+        from repro.core.algorithms.common import OptimisationResult
+        from repro.core.strategy import Action, Strategy
+        from repro.scenarios import register_algorithm
+
+        def doubled(model, **_kwargs):
+            strategy = Strategy([Action("b", 1.0), Action("b", 2.0)])
+            return OptimisationResult(
+                algorithm="doubled", strategy=strategy,
+                objective_value=0.0, utility=0.0,
+            )
+
+        register_algorithm("test-doubled-join")(doubled)
+        graph = ChannelGraph.from_edges([("a", "b"), ("b", "c")])
+        growth = FixedGrowth(per_epoch=1, algorithm="test-doubled-join")
+        growth.join(graph, "d", seed=0)
+        channels = graph.channels_between("d", "b")
+        assert len(channels) == 1
+        assert channels[0].balance("d") == pytest.approx(3.0)
+
+    def test_bad_model_overrides_raise_scenario_error(self):
+        graph = star(4)
+        growth = FixedGrowth(per_epoch=1, model={"bogus_param": 1.0})
+        with pytest.raises(ScenarioError, match="model overrides"):
+            growth.join(graph, "x", seed=0)
+
+    def test_registry_builders(self):
+        growth = build_growth(GrowthSpec("poisson", {"rate": 1.5}))
+        assert isinstance(growth, PoissonGrowth)
+        assert growth.rate == 1.5
+        with pytest.raises(ScenarioError, match="rejected params"):
+            build_growth(GrowthSpec("fixed", {"bogus": 1}))
+
+
+class TestChurn:
+    def test_uniform_churn_deterministic(self):
+        graph = star(8)
+        a = UniformChurn(rate=0.5).departures(graph, np.random.default_rng(2))
+        b = UniformChurn(rate=0.5).departures(graph, np.random.default_rng(2))
+        assert a == b
+
+    def test_rate_zero_and_one(self):
+        graph = star(8)
+        rng = np.random.default_rng(0)
+        assert UniformChurn(rate=0.0).departures(graph, rng) == []
+        everyone = UniformChurn(rate=1.0, min_nodes=3).departures(
+            graph, np.random.default_rng(0)
+        )
+        # rate 1 removes as many as the floor allows, in canonical order
+        assert len(everyone) == len(graph) - 3
+
+    def test_min_nodes_floor(self):
+        graph = star(3)  # 4 nodes
+        churn = UniformChurn(rate=1.0, min_nodes=4)
+        assert churn.departures(graph, np.random.default_rng(0)) == []
+
+    def test_degree_bias_prefers_hub(self):
+        graph = star(12)
+        churn = DegreeBiasedChurn(rate=0.25, bias=3.0, min_nodes=3)
+        hub_hits = 0
+        for seed in range(40):
+            departures = churn.departures(graph, np.random.default_rng(seed))
+            if CENTER in departures:
+                hub_hits += 1
+        # hub degree is 12 vs leaf degree 1: bias 3 makes the hub's
+        # departure probability saturate at 1 while leaves stay ~0.0001
+        assert hub_hits == 40
+
+    def test_negative_bias_spares_hub(self):
+        graph = star(12)
+        churn = DegreeBiasedChurn(rate=0.9, bias=-4.0, min_nodes=3)
+        for seed in range(10):
+            departures = churn.departures(graph, np.random.default_rng(seed))
+            assert CENTER not in departures
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(InvalidParameter):
+            UniformChurn(rate=1.5)
+        with pytest.raises(InvalidParameter):
+            UniformChurn(rate=0.1, min_nodes=1)
+
+    def test_registry_builders(self):
+        churn = build_churn(ChurnSpec("degree-biased", {"rate": 0.2, "bias": 2.0}))
+        assert isinstance(churn, DegreeBiasedChurn)
+        assert churn.bias == 2.0
+        with pytest.raises(ScenarioError, match="rejected params"):
+            build_churn(ChurnSpec("uniform", {"nope": 3}))

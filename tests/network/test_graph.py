@@ -122,17 +122,18 @@ class TestQueries:
 
 class TestViews:
     def test_undirected_view_structure(self, diamond):
-        undirected = diamond.to_undirected()
+        undirected = diamond.view(directed=False).to_networkx()
         assert undirected.number_of_nodes() == 4
         assert undirected.number_of_edges() == 4
 
     def test_undirected_view_cached(self, diamond):
-        assert diamond.to_undirected() is diamond.to_undirected()
+        first = diamond.view(directed=False).to_networkx()
+        assert first is diamond.view(directed=False).to_networkx()
 
     def test_undirected_cache_invalidated_on_mutation(self, diamond):
-        view1 = diamond.to_undirected()
+        view1 = diamond.view(directed=False).to_networkx()
         diamond.add_channel("d", "e", 1.0)
-        view2 = diamond.to_undirected()
+        view2 = diamond.view(directed=False).to_networkx()
         assert view1 is not view2
         assert view2.has_edge("d", "e")
 
@@ -140,16 +141,16 @@ class TestViews:
         graph = ChannelGraph()
         graph.add_channel("a", "b", 1.0, 1.0)
         graph.add_channel("a", "b", 2.0, 2.0)
-        view = graph.to_undirected()
+        view = graph.view(directed=False).to_networkx()
         assert view["a"]["b"]["capacity"] == pytest.approx(6.0)
 
     def test_directed_view_balances(self, line3):
-        directed = line3.to_directed()
+        directed = line3.view(directed=True).to_networkx()
         assert directed["a"]["b"]["balance"] == pytest.approx(10.0)
         assert directed["b"]["a"]["balance"] == pytest.approx(2.0)
 
     def test_directed_reduced_drops_low_balance(self, line3):
-        reduced = line3.to_directed(min_balance=5.0)
+        reduced = line3.view(directed=True, reduced=5.0).to_networkx()
         assert reduced.has_edge("a", "b")
         assert not reduced.has_edge("b", "a")  # balance 2 < 5
         assert reduced.has_edge("b", "c")
@@ -159,7 +160,7 @@ class TestViews:
         graph = ChannelGraph()
         graph.add_channel("a", "b", 1.0, 0.0)
         graph.add_channel("a", "b", 2.0, 0.0)
-        directed = graph.to_directed()
+        directed = graph.view(directed=True).to_networkx()
         assert directed["a"]["b"]["balance"] == pytest.approx(3.0)
 
 

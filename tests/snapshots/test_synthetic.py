@@ -20,7 +20,7 @@ class TestBarabasiAlbert:
 
     def test_connected(self):
         graph = barabasi_albert_snapshot(60, seed=1)
-        assert nx.is_connected(graph.to_undirected())
+        assert nx.is_connected(graph.view(directed=False).to_networkx())
 
     def test_heavy_tail(self):
         graph = barabasi_albert_snapshot(150, attachments=2, seed=2)
@@ -80,7 +80,7 @@ class TestCorePeriphery:
 class TestErdosRenyi:
     def test_connected_by_construction(self):
         graph = erdos_renyi_snapshot(30, p=0.15, seed=0)
-        assert nx.is_connected(graph.to_undirected())
+        assert nx.is_connected(graph.view(directed=False).to_networkx())
 
     def test_rejects_bad_p(self):
         with pytest.raises(InvalidParameter):

@@ -262,3 +262,62 @@ class TestAttack:
         assert "NE resilience under slow-jamming" in out
         for topology in ("star", "path", "circle"):
             assert topology in out
+
+
+class TestEvolve:
+    def test_emits_byte_identical_json_for_fixed_seed(self, capsys):
+        args = ["evolve", "--topology", "circle", "--epochs", "5",
+                "--seed", "7"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        doc = json.loads(first)
+        assert doc["epochs_run"] == len(doc["epochs"])
+        assert doc["final_topology"] == "star"  # the attractor here
+
+    def test_trajectory_written_to_file(self, tmp_path, capsys):
+        out = tmp_path / "trajectory.json"
+        code = main(
+            ["evolve", "--topology", "star", "--size", "5", "--epochs", "4",
+             "--churn-rate", "0.1", "--seed", "3", "--output", str(out)]
+        )
+        assert code == 0
+        assert "wrote trajectory" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert {"converged", "epochs", "final_topology", "totals"} <= set(doc)
+
+    def test_empirical_utility_runs(self, capsys):
+        code = main(
+            ["evolve", "--topology", "circle", "--size", "5", "--epochs", "3",
+             "--utility", "empirical", "--mode", "sampled", "--sample", "2",
+             "--seed", "1"]
+        )
+        assert code == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_invalid_spec_errors_with_exit_2(self, capsys):
+        code = main(
+            ["evolve", "--topology", "circle", "--epochs", "3",
+             "--utility", "empirical", "--horizon", "0"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "traffic_horizon" in err
+
+    def test_invalid_topology_size_errors_cleanly(self, capsys):
+        code = main(["evolve", "--topology", "circle", "--size", "2"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_emergence_table(self, capsys):
+        code = main(
+            ["evolve", "--emergence", "--size", "5", "--epochs", "4",
+             "--seed", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topology emergence under evolution" in out
+        for topology in ("star", "path", "circle"):
+            assert topology in out

@@ -151,3 +151,30 @@ class TestCli:
                 pytest.skip(f"{path.name} not committed yet")
             document = json.loads(path.read_text())
             assert gate.check_floors(document, document, 0.7, 0.1) == []
+
+
+class TestEvolutionBenchmark:
+    def test_registered_with_absolute_throughput_floor(self):
+        key_fields, relative, absolute = gate.BENCHMARKS["evolution"]
+        assert key_fields == ("n",)
+        assert absolute == ("epochs_per_sec",)
+
+    def test_gates_epochs_per_sec(self):
+        baseline = doc("evolution", [
+            {"n": 500, "epochs_per_sec": 0.3},
+        ])
+        ok = doc("evolution", [{"n": 500, "epochs_per_sec": 0.05}])
+        assert gate.check_floors(ok, baseline, 0.7, 0.1) == []
+        slow = doc("evolution", [{"n": 500, "epochs_per_sec": 0.01}])
+        failures = gate.check_floors(slow, baseline, 0.7, 0.1)
+        assert len(failures) == 1
+        assert "epochs_per_sec" in failures[0]
+
+    def test_committed_baseline_matches_smoke_keys(self):
+        committed = json.loads((REPO / "BENCH_evolution.json").read_text())
+        assert committed["benchmark"] == "evolution"
+        smoke_keys = {(500,)}
+        baseline_keys = {
+            (row["n"],) for row in committed["results"]
+        }
+        assert smoke_keys <= baseline_keys
