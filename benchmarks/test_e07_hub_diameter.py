@@ -9,7 +9,6 @@ while traffic-heavy long paths violate the bound — i.e. they cannot be
 stable, which is the theorem's contrapositive.
 """
 
-import math
 
 from repro.analysis.tables import format_table
 from repro.equilibrium.diameter import analyse_hub_path

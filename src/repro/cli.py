@@ -28,7 +28,10 @@ Subcommands:
 * ``evolve`` — run the epoch-based network evolution engine (arrivals,
   churn, traffic epochs, best-response dynamics) on a topology and emit
   the JSON trajectory; ``--emergence`` sweeps the Section IV topologies
-  and prints the emergence table instead.
+  and prints the emergence table instead;
+* ``lint`` — run reprolint, the AST-based invariant linter
+  (:mod:`repro.devtools`), over the tree: determinism, GraphView
+  immutability, frozen artifacts, registry discipline (RPR001–RPR007).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from typing import Any, Dict, List, Optional
 
 from . import __version__
 from .analysis import format_table
+from .devtools.cli import add_lint_arguments, run_lint
 from .errors import ReproError, ScenarioError
 from .equilibrium import (
     NetworkGameModel,
@@ -48,7 +52,6 @@ from .equilibrium import (
 )
 from .scenarios import (
     AlgorithmSpec,
-    AttackSpec,
     ChurnSpec,
     EvolutionSpec,
     FeeSpec,
@@ -689,6 +692,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="process-pool size"
     )
     p_ev.set_defaults(func=_cmd_evolve)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the AST-based invariant linter "
+        "(determinism, GraphView immutability, frozen artifacts, ...)",
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=run_lint)
     return parser
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from itertools import combinations
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ...errors import InvalidParameter
 from ..objective import ObjectiveEvaluator

@@ -29,7 +29,6 @@ the routing amount make a channel useless for forwarding.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence
 
 import numpy as np

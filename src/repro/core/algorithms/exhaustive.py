@@ -19,8 +19,7 @@ redundant).
 from __future__ import annotations
 
 import math
-from itertools import combinations_with_replacement
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ...errors import InvalidParameter
 from ..objective import ObjectiveEvaluator

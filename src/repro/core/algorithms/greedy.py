@@ -10,7 +10,7 @@ submodular ``U' = E_rev - E_fees`` and returning the best prefix yields a
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ...errors import InvalidParameter
 from ..objective import ObjectiveEvaluator

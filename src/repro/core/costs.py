@@ -18,10 +18,9 @@ the utility into the non-negative *benefit function* ``U^b = C_u + U``.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..params import ModelParameters
-from .strategy import Action, Strategy
+from .strategy import Strategy
 
 __all__ = [
     "channel_cost",

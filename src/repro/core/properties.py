@@ -9,7 +9,7 @@ violations/witnesses; they back the property-based tests and bench E3.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,14 +25,14 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class SubmodularityReport:
     """Outcome of randomised submodularity trials."""
 
     trials: int
     violations: int
     worst_gap: float = 0.0
-    witnesses: List[Tuple[Strategy, Strategy, Action]] = field(default_factory=list)
+    witnesses: Tuple[Tuple[Strategy, Strategy, Action], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -69,7 +69,9 @@ def check_submodularity(
     if len(omega) < 2:
         raise ValueError("need at least two candidate actions")
     rng = np.random.default_rng(seed)
-    report = SubmodularityReport(trials=trials, violations=0)
+    violations = 0
+    worst_gap = 0.0
+    witnesses: List[Tuple[Strategy, Strategy, Action]] = []
     for _ in range(trials):
         s1, s2, x = _random_nested_pair(omega, rng)
         values = [
@@ -84,11 +86,14 @@ def check_submodularity(
         gain_large = values[3] - values[2]
         gap = gain_large - gain_small
         if gap > tolerance:
-            report.violations += 1
-            report.worst_gap = max(report.worst_gap, gap)
-            if len(report.witnesses) < keep_witnesses:
-                report.witnesses.append((s1, s2, x))
-    return report
+            violations += 1
+            worst_gap = max(worst_gap, gap)
+            if len(witnesses) < keep_witnesses:
+                witnesses.append((s1, s2, x))
+    return SubmodularityReport(
+        trials=trials, violations=violations, worst_gap=worst_gap,
+        witnesses=tuple(witnesses),
+    )
 
 
 def check_monotonicity(

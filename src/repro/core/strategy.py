@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterable, Iterator, List, Tuple
 
 from ..errors import BudgetExceeded, InvalidParameter
 from ..network.graph import ChannelGraph

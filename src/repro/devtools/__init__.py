@@ -1,0 +1,37 @@
+"""repro.devtools — static analysis guarding the reproduction's invariants.
+
+The headline claims of this repo (bit-identical event-vs-batched parity,
+byte-identical CLI runs, serial==process sweep equality, spec-hash
+content addressing) rest on structural invariants — all RNG flows from
+derived seeds, ``GraphView`` arrays are never written outside
+``network/views.py``, artifacts are frozen and JSON-typed, registries are
+import-time string literals. Tests *sample* those invariants; the linter
+here (``python -m repro lint``) enforces them on every line.
+
+Layout:
+
+* :mod:`~repro.devtools.engine` — single-pass AST walker + rule dispatch;
+* :mod:`~repro.devtools.rules` — the RPR001–RPR007 catalogue and the
+  :data:`~repro.devtools.rules.RULES` registry;
+* :mod:`~repro.devtools.baseline` — committed grandfathered findings;
+* :mod:`~repro.devtools.cli` — the ``repro lint`` command.
+"""
+
+from .baseline import DEFAULT_BASELINE_PATH, Baseline
+from .engine import FileContext, LintResult, Rule, lint_file, lint_paths
+from .findings import Finding
+from .rules import RULES, register_deprecation, register_rule
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_PATH",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "register_deprecation",
+    "register_rule",
+]

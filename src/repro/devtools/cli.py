@@ -1,0 +1,146 @@
+"""``python -m repro lint`` — the reprolint command.
+
+Exit contract (matching the repo CLI): 0 = clean tree, 2 = findings or
+usage/library error (errors print one ``error: ...`` line on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import ReproError
+from .baseline import DEFAULT_BASELINE_PATH, Baseline
+from .engine import LintResult, lint_paths
+from .rules import RULES
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+#: Version stamp of the ``--format json`` document layout.
+JSON_OUTPUT_VERSION = 1
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (shared with `repro lint`)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["human", "json"], default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RPR001,RPR002",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE_PATH} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _resolve_rules(select: Optional[str]):
+    if select is None:
+        return [RULES.get(rule_id) for rule_id in RULES]
+    return [RULES.get(token.strip()) for token in select.split(",") if token.strip()]
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline or args.write_baseline:
+        return None
+    if args.baseline is not None:
+        return Baseline.load(Path(args.baseline))
+    default = Path(DEFAULT_BASELINE_PATH)
+    if default.exists():
+        return Baseline.load(default)
+    return None
+
+
+def _print_human(result: LintResult) -> None:
+    for finding in result.findings:
+        print(finding.format())
+    tail = (
+        f"{len(result.findings)} finding(s) in {result.files} file(s)"
+        f" ({len(result.baselined)} baselined,"
+        f" {len(result.suppressed)} suppressed)"
+    )
+    print(tail)
+
+
+def _print_json(result: LintResult) -> None:
+    document = {
+        "version": JSON_OUTPUT_VERSION,
+        "files": result.files,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "counts": {
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+        },
+    }
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
+def _list_rules() -> int:
+    for rule_id in RULES:
+        rule = RULES.get(rule_id)
+        print(f"{rule_id}  {rule.title}")
+        print(f"    {rule.description}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    if args.list_rules:
+        return _list_rules()
+    rule_classes = _resolve_rules(args.select)
+    baseline = _resolve_baseline(args)
+    result = lint_paths(args.paths, rule_classes, baseline=baseline)
+    if args.write_baseline:
+        target = Path(args.baseline or DEFAULT_BASELINE_PATH)
+        Baseline.from_findings(result.findings).save(target)
+        print(
+            f"wrote baseline {target} ({len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'})"
+        )
+        return 0
+    if args.format == "json":
+        _print_json(result)
+    else:
+        _print_human(result)
+    return 0 if result.clean else 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant linter for the repro tree",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,322 @@
+"""The AST-visitor rule engine behind ``python -m repro lint``.
+
+One parse per file, one tree walk per file: the walker dispatches every
+node to each registered rule's matching ``visit_<NodeType>`` handlers,
+while centrally tracking the context rules need (import aliases, whether
+we are inside a function or class body). Rules stay tiny — a handler, a
+``report()`` call — and register by id into :data:`~repro.devtools.rules.RULES`,
+mirroring the scenario plugin registries.
+
+Suppressions are per-line, per-rule comments, matching the repo-wide
+idiom for sanctioned exceptions::
+
+    drawn = entropy_draw()  # reprolint: disable=RPR001
+    stamp = time.time()     # reprolint: disable=RPR005,RPR001
+
+Grandfathered findings live in a committed baseline file (see
+:mod:`repro.devtools.baseline`); everything else fails the lint.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from .baseline import Baseline
+
+__all__ = ["FileContext", "LintResult", "Rule", "lint_file", "lint_paths"]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+
+#: Directories never descended into during path discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "htmlcov", "node_modules"}
+
+
+def _suppressed_on(line: str) -> frozenset:
+    """Rule ids disabled by a ``# reprolint: disable=...`` comment."""
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(
+        token.strip() for token in match.group(1).split(",") if token.strip()
+    )
+
+
+class FileContext:
+    """Everything one file's rules share during the walk.
+
+    Attributes:
+        path: posix-style path (relative to the invocation cwd when
+            possible) — rules use it for location-scoped exemptions.
+        lines: raw source lines (1-based access via ``source_line``).
+        imports: binding name -> fully dotted origin, built from the
+            file's ``import``/``from ... import`` statements
+            (``np`` -> ``numpy``, ``default_rng`` ->
+            ``numpy.random.default_rng``).
+        function_depth / class_depth: scope counters maintained by the
+            walker (decorators and default expressions evaluate in the
+            *enclosing* scope and are visited there).
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.imports = _collect_imports(tree)
+        self.function_depth = 0
+        self.class_depth = 0
+        self.findings: List[Finding] = []
+        self.suppressed: List[Finding] = []
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def add(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        raw = self.source_line(line)
+        finding = Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            content=raw.strip(),
+        )
+        if rule in _suppressed_on(raw):
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
+
+    # -- dotted-name resolution ----------------------------------------------
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Resolve ``node`` to a fully dotted name via the import map.
+
+        ``np.random.rand`` -> ``"numpy.random.rand"`` under
+        ``import numpy as np``; names with no import binding resolve to
+        ``None`` (locals never alias modules here).
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = ("." * node.level) + (node.module or "")
+            for alias in node.names:
+                binding = alias.asname or alias.name
+                imports[binding] = f"{module}.{alias.name}" if module else alias.name
+    return imports
+
+
+class Rule:
+    """Base class of all lint rules.
+
+    Subclasses set the class attributes, implement any number of
+    ``visit_<NodeType>`` handlers (called once per matching node during
+    the single tree walk), and call :meth:`report`. One instance is
+    created per linted file.
+    """
+
+    rule_id: str = "RPR000"
+    title: str = ""
+    description: str = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.ctx.add(self.rule_id, node, message)
+
+    def finish(self) -> None:
+        """Called after the walk — for rules that aggregate."""
+
+
+class _Walker:
+    """Single-pass dispatcher with correct scope accounting.
+
+    Decorators, argument defaults, annotations, and base classes are
+    visited in the *enclosing* scope before the function/class scope
+    opens — so a module-level ``@register_x("key")`` decorator is
+    correctly seen at module scope even though the AST nests it inside
+    the ``FunctionDef``.
+    """
+
+    def __init__(self, ctx: FileContext, rules: Sequence[Rule]) -> None:
+        self.ctx = ctx
+        self.handlers: Dict[str, List] = {}
+        for rule in rules:
+            for name in dir(type(rule)):
+                if name.startswith("visit_"):
+                    self.handlers.setdefault(name[6:], []).append(
+                        getattr(rule, name)
+                    )
+
+    def walk(self, node: ast.AST) -> None:
+        for handler in self.handlers.get(type(node).__name__, ()):
+            handler(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in node.decorator_list:
+                self.walk(deco)
+            self.walk(node.args)
+            if node.returns is not None:
+                self.walk(node.returns)
+            self.ctx.function_depth += 1
+            for stmt in node.body:
+                self.walk(stmt)
+            self.ctx.function_depth -= 1
+        elif isinstance(node, ast.Lambda):
+            self.walk(node.args)
+            self.ctx.function_depth += 1
+            self.walk(node.body)
+            self.ctx.function_depth -= 1
+        elif isinstance(node, ast.ClassDef):
+            for deco in node.decorator_list:
+                self.walk(deco)
+            for base in node.bases:
+                self.walk(base)
+            for keyword in node.keywords:
+                self.walk(keyword)
+            self.ctx.class_depth += 1
+            for stmt in node.body:
+                self.walk(stmt)
+            self.ctx.class_depth -= 1
+        else:
+            for child in ast.iter_child_nodes(node):
+                self.walk(child)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _relative_posix(path: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand ``paths`` (files or directories) to sorted ``.py`` files."""
+    out = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def lint_file(
+    path: Path, rule_classes: Sequence[Type[Rule]]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file; returns ``(findings, suppressed)``."""
+    rel = _relative_posix(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        finding = Finding(
+            rule="RPR000", path=rel, line=1, col=0,
+            message=f"cannot read file: {exc}",
+        )
+        return [finding], []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            rule="RPR000", path=rel, line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )
+        return [finding], []
+    ctx = FileContext(rel, source, tree)
+    rules = [cls(ctx) for cls in rule_classes]
+    _Walker(ctx, rules).walk(tree)
+    for rule in rules:
+        rule.finish()
+    return ctx.findings, ctx.suppressed
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rule_classes: Optional[Sequence[Type[Rule]]] = None,
+    baseline: Optional["Baseline"] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    Args:
+        paths: files and/or directories.
+        rule_classes: rules to run; defaults to every registered rule
+            (sorted by rule id).
+        baseline: grandfathered findings to subtract (see
+            :class:`~repro.devtools.baseline.Baseline`).
+    """
+    if rule_classes is None:
+        from .rules import RULES
+
+        rule_classes = [RULES.get(rule_id) for rule_id in RULES]
+    result = LintResult()
+    for path in iter_python_files(paths):
+        findings, suppressed = lint_file(path, rule_classes)
+        result.files += 1
+        result.suppressed.extend(suppressed)
+        result.findings.extend(findings)
+    result.findings.sort(key=Finding.sort_key)
+    result.suppressed.sort(key=Finding.sort_key)
+    if baseline is not None:
+        result.findings, result.baselined = baseline.split(result.findings)
+    return result

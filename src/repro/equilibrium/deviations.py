@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import chain, combinations
-from typing import FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import FrozenSet, Hashable, Iterator, List, Optional
 
 import numpy as np
 

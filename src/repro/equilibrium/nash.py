@@ -54,7 +54,7 @@ class NodeBestResponse:
         return self.best_deviation is not None
 
 
-@dataclass
+@dataclass(frozen=True)
 class NashReport:
     """Stability verdict for a whole network."""
 
@@ -143,13 +143,14 @@ def check_nash(
     ``nodes`` restricts the check (e.g. one leaf + the center exploits the
     star's symmetry); default checks every node.
     """
-    report = NashReport()
-    for node in nodes if nodes is not None else graph.nodes:
-        report.responses[node] = best_response(
+    responses = {
+        node: best_response(
             graph, node, model, mode=mode, tolerance=tolerance,
             balance=balance, seed=seed,
         )
-    return report
+        for node in (nodes if nodes is not None else graph.nodes)
+    }
+    return NashReport(responses)
 
 
 @dataclass(frozen=True)

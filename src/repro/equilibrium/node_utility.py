@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable
 
 from ..errors import InvalidParameter, NodeNotFound
 from ..network.betweenness import pair_weighted_betweenness

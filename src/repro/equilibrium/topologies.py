@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import List
 
 from ..errors import InvalidParameter
 from ..network.graph import ChannelGraph

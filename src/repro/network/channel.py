@@ -11,7 +11,7 @@ can be sent in that direction. A successful payment of size ``x`` from
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterator, List, Optional, Tuple
 
 from ..errors import HtlcError, InsufficientBalance, InvalidParameter

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

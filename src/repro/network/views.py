@@ -145,7 +145,7 @@ class GraphView:
         self.min_balance = min_balance
         self.version = version
         self._reverse: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
-        self._nx_cache = None
+        self._nx_cache: Optional["nx.Graph"] = None
         self._entry_rows: Optional[np.ndarray] = None
         self._adj_lists: Optional[List[List[Tuple[int, int]]]] = None
 
@@ -260,6 +260,7 @@ class GraphView:
         import networkx as nx
 
         rows = self.entry_rows()
+        graph: "nx.Graph"
         if self.directed:
             graph = nx.DiGraph()
             graph.add_nodes_from(self.nodes)

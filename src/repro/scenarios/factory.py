@@ -22,7 +22,7 @@ from ..network.graph import ChannelGraph
 from ..simulation.engine import SimulationEngine
 from ..simulation.fastpath import BatchedSimulationEngine
 from .registry import CHURN, FEES, GROWTH, TOPOLOGIES, WORKLOADS
-from .specs import Scenario, WorkloadSpec
+from .specs import ChurnSpec, GrowthSpec, Scenario, TopologySpec, WorkloadSpec
 
 __all__ = [
     "build_batched_engine",
@@ -77,7 +77,7 @@ def _accepts_keyword(fn: Callable[..., Any], name: str) -> bool:
     return False
 
 
-def build_topology(spec, seed: Optional[int] = None) -> ChannelGraph:
+def build_topology(spec: TopologySpec, seed: Optional[int] = None) -> ChannelGraph:
     """Resolve and invoke a topology builder.
 
     The scenario ``seed`` is forwarded to builders that accept a ``seed``
@@ -93,7 +93,7 @@ def build_topology(spec, seed: Optional[int] = None) -> ChannelGraph:
     return builder(**params)
 
 
-def build_workload(scenario: Scenario, graph: ChannelGraph):
+def build_workload(scenario: Scenario, graph: ChannelGraph) -> Any:
     """Resolve and invoke the scenario's workload builder on ``graph``.
 
     The scenario seed is injected unless the params pin one, so a given
@@ -113,7 +113,7 @@ def build_workload(scenario: Scenario, graph: ChannelGraph):
         ) from exc
 
 
-def build_fee(scenario: Scenario):
+def build_fee(scenario: Scenario) -> Optional[Any]:
     """Resolve the scenario's fee function (``None`` when unspecified)."""
     if scenario.fee is None:
         return None
@@ -128,7 +128,7 @@ def build_fee(scenario: Scenario):
         ) from exc
 
 
-def build_growth(spec):
+def build_growth(spec: GrowthSpec) -> Any:
     """Resolve and invoke a growth (arrival-process) builder."""
     _ensure_providers()
     builder = GROWTH.get(spec.kind)
@@ -140,7 +140,7 @@ def build_growth(spec):
         ) from exc
 
 
-def build_churn(spec):
+def build_churn(spec: ChurnSpec) -> Any:
     """Resolve and invoke a churn (departure-process) builder."""
     _ensure_providers()
     builder = CHURN.get(spec.kind)

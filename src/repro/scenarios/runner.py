@@ -60,7 +60,7 @@ from .factory import (  # noqa: F401  (re-exported: the historical home)
     build_topology,
     build_workload,
 )
-from .grid import derive_seed, evaluate_grid, grid_points
+from .grid import derive_seed, evaluate_grid
 from .registry import ALGORITHMS
 from .specs import Scenario, SimulationSpec
 

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, Optional, Type
 
 import numpy as np
 
+from ..determinism import resolve_seed
 from ..errors import RoutingError, SimulationError
 from ..network.fees import FeeFunction
 from ..network.graph import ChannelGraph
@@ -44,6 +45,10 @@ class SimulationEngine:
             ``"random"`` so that long-run edge traffic realises the
             equal-split shares of Eq. 2.
         seed: RNG seed for path tie-breaking and hold-time sampling.
+            ``None`` draws one entropy seed via
+            :func:`~repro.determinism.resolve_seed` (logged at WARNING)
+            and surfaces it as ``metrics.seed``, so even "unseeded" runs
+            can be replayed exactly.
         payment_mode: ``"instant"`` applies each payment atomically on
             arrival; ``"htlc"`` locks funds on arrival and settles after
             an exponential hold time (mean ``htlc_hold_mean``), so
@@ -78,23 +83,24 @@ class SimulationEngine:
                 f"route_rng must be 'stream' or 'payment', got {route_rng!r}"
             )
         self.graph = graph
+        # Resolve the seed once: with seed=None an entropy seed is drawn
+        # *here* (loudly — see repro.determinism) and every downstream
+        # consumer (router tie-breaks, per-payment RNG bases, hold-time
+        # sampling) derives from the same value, so the run is replayable
+        # from SimulationMetrics.seed alone.
+        self.seed = resolve_seed(seed)
         self.router = Router(
             graph, fee=fee, fee_forwarding=fee_forwarding,
-            path_selection=path_selection, seed=seed,
+            path_selection=path_selection, seed=self.seed,
         )
         self.payment_mode = payment_mode
         self.htlc_hold_mean = htlc_hold_mean
         self.route_rng = route_rng
-        self._route_base = (
-            seed % (2 ** 63) if seed is not None
-            else int(np.random.SeedSequence().entropy % (2 ** 63))
-        )
+        self._route_base = self.seed % (2 ** 63)
         self._htlc_router = HtlcRouter(graph, fee=fee)
         self._pending_htlcs = {}
-        self._hold_rng = np.random.default_rng(
-            seed + 1 if seed is not None else None
-        )
-        self.metrics = SimulationMetrics()
+        self._hold_rng = np.random.default_rng(self.seed + 1)
+        self.metrics = SimulationMetrics(seed=self.seed)
         self._queue = EventQueue()
         self._now = 0.0
         self._payment_seq = 0

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..determinism import resolve_seed
 from ..errors import SimulationError
 from ..network.fees import FeeFunction
 from ..network.graph import ChannelGraph
@@ -170,22 +171,24 @@ class BatchedSimulationEngine:
                 f"epoch_size must be >= 1, got {epoch_size}"
             )
         self.graph = graph
+        # Resolve the seed once (entropy drawn loudly when seed=None —
+        # see repro.determinism) so the router and the per-payment RNG
+        # base derive from one replayable value, mirroring the event
+        # engine exactly.
+        self.seed = resolve_seed(seed)
         # One Router, configured exactly like the event engine's: it owns
         # the fee schedule (_hop_amounts) and — in "stream" mode — the
         # sequential tie-break RNG whose draw order the fastpath
         # reproduces.
         self.router = Router(
             graph, fee=fee, fee_forwarding=fee_forwarding,
-            path_selection=path_selection, seed=seed,
+            path_selection=path_selection, seed=self.seed,
         )
         self.payment_mode = payment_mode
         self.route_rng = route_rng
         self.epoch_size = epoch_size
-        self._route_base = (
-            seed % (2 ** 63) if seed is not None
-            else int(np.random.SeedSequence().entropy % (2 ** 63))
-        )
-        self.metrics = SimulationMetrics()
+        self._route_base = self.seed % (2 ** 63)
+        self.metrics = SimulationMetrics(seed=self.seed)
         self.stats = FastpathStats()
 
     # -- public API -----------------------------------------------------------

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 __all__ = ["SimulationMetrics"]
 
@@ -24,6 +24,11 @@ class SimulationMetrics:
         edge_traffic: number of successful traversals per directed edge.
         failure_reasons: failure-description -> count.
         horizon: simulated time span covered (set by the engine).
+        seed: the resolved RNG seed of the run that produced these
+            metrics (set by the engines at construction) — with
+            ``seed=None`` runs the engine draws an entropy seed and
+            records it here, so *every* run is replayable. ``None``
+            only for hand-built or heterogeneously merged metrics.
     """
 
     attempted: int = 0
@@ -44,6 +49,7 @@ class SimulationMetrics:
     )
     horizon: float = 0.0
     htlc_locked_peak: float = 0.0
+    seed: Optional[int] = None
 
     @property
     def success_rate(self) -> float:
@@ -81,7 +87,9 @@ class SimulationMetrics:
         can differ by rounding.
         """
         out = cls()
+        seeds = set()
         for metrics in parts:
+            seeds.add(metrics.seed)
             out.attempted += metrics.attempted
             out.succeeded += metrics.succeeded
             out.failed += metrics.failed
@@ -102,6 +110,10 @@ class SimulationMetrics:
             out.htlc_locked_peak = max(
                 out.htlc_locked_peak, metrics.htlc_locked_peak
             )
+        # Shards of one run share a seed; keep it so the merged metrics
+        # stay replay-addressable. Heterogeneous merges get None.
+        if len(seeds) == 1:
+            out.seed = seeds.pop()
         return out
 
     def summary(self) -> str:

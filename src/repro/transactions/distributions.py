@@ -9,7 +9,7 @@ the assumption and measure its effect (bench E12's ablations rely on this).
 from __future__ import annotations
 
 import abc
-from typing import Dict, Hashable, Mapping, Optional, Sequence
+from typing import Dict, Hashable, Mapping, Sequence
 
 import numpy as np
 

@@ -14,7 +14,7 @@ of prior work, large ``s`` concentrates all traffic on the top-degree node.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable
 
 from ..errors import NodeNotFound
 from ..network.graph import ChannelGraph

@@ -7,7 +7,7 @@ import pytest
 from repro.core.algorithms.bruteforce import brute_force
 from repro.core.algorithms.greedy import greedy_fixed_funds, greedy_over_actions
 from repro.core.objective import ObjectiveEvaluator
-from repro.core.strategy import Action, ActionSpace, Strategy
+from repro.core.strategy import Action, ActionSpace
 from repro.core.utility import JoiningUserModel
 from repro.errors import InvalidParameter
 from repro.network.graph import ChannelGraph

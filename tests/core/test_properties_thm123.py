@@ -13,7 +13,7 @@ from repro.core.properties import (
     check_submodularity,
     find_negative_utility_example,
 )
-from repro.core.strategy import Action, ActionSpace
+from repro.core.strategy import ActionSpace
 from repro.core.utility import JoiningUserModel
 from repro.params import ModelParameters
 from repro.snapshots.synthetic import barabasi_albert_snapshot

@@ -1,0 +1,25 @@
+"""Fixture: deliberately invariant-respecting code — zero findings."""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+FROZEN_TABLE = {"star": 1, "path": 2}
+
+
+@dataclass(frozen=True)
+class TinyReport:
+    name: str
+    values: Tuple[float, ...] = ()
+
+
+def sample(seed: Optional[int] = None, count: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(0 if seed is None else seed)
+    return rng.standard_normal(count)
+
+
+def scale(view, factor: float) -> np.ndarray:
+    balances = view.balances.copy()
+    balances *= factor
+    return balances

@@ -1,0 +1,10 @@
+"""Fixture: every statement below trips RPR001 (unseeded randomness) only."""
+
+import random
+
+import numpy as np
+
+pick = random.choice([1, 2, 3])
+noise = np.random.rand(3)
+rng = np.random.default_rng()
+entropy = np.random.SeedSequence().entropy

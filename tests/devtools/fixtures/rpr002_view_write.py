@@ -1,0 +1,8 @@
+"""Fixture: every statement below trips RPR002 (GraphView write) only."""
+
+
+def drain(view):
+    view.balances[0] = 0.0
+    view.capacities -= 1.0
+    view.fee_base.fill(0.0)
+    view.indices = None

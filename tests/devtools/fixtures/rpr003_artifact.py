@@ -1,0 +1,15 @@
+"""Fixture: both dataclasses below trip RPR003 (artifact contract) only."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class LeakyReport:
+    total: float
+
+
+@dataclass(frozen=True)
+class ArrayRecord:
+    data: np.ndarray

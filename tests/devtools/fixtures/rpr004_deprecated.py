@@ -1,0 +1,7 @@
+"""Fixture: both calls below trip RPR004 (deprecated API) only."""
+
+
+def materialise(graph):
+    undirected = graph.to_undirected()
+    directed = graph.to_directed()
+    return undirected, directed

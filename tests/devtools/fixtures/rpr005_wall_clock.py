@@ -1,0 +1,11 @@
+"""Fixture: every call below trips RPR005 (wall clock) only."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    tick = time.perf_counter()
+    now = datetime.now()
+    return started, tick, now

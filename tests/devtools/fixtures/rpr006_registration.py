@@ -1,0 +1,11 @@
+"""Fixture: the registrations below trip RPR006 (registration discipline) only."""
+
+KEY = "late-topology"
+
+
+def install(register_topology):
+    @register_topology(KEY)
+    def build():
+        return None
+
+    return build

@@ -1,0 +1,9 @@
+"""Fixture: the defaults and singleton below trip RPR007 (mutable state) only."""
+
+CACHE = {}
+
+
+def extend(items=[], labels=None, registry=dict()):
+    items.append(labels)
+    registry[labels] = items
+    return items

@@ -1,0 +1,111 @@
+"""The ``repro lint`` command: output formats, exit codes, clean tree."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_clean_tree_exits_zero():
+    """`python -m repro lint src/` on the committed tree: exit 0.
+
+    Run from the repo root in a fresh process, so the committed baseline
+    and the real package layout are exercised exactly as CI runs them.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src/"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_findings_exit_two_human(capsys):
+    code = main([
+        "lint", str(FIXTURES / "rpr005_wall_clock.py"), "--no-baseline",
+    ])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "RPR005" in out
+    assert "finding(s)" in out
+
+
+def test_clean_path_exits_zero(capsys):
+    code = main([
+        "lint", str(FIXTURES / "clean.py"), "--no-baseline",
+    ])
+    assert code == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_json_output_schema(capsys):
+    code = main([
+        "lint", str(FIXTURES), "--no-baseline", "--format", "json",
+    ])
+    assert code == 2
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["files"] == len(list(FIXTURES.glob("*.py")))
+    assert document["counts"]["findings"] == len(document["findings"])
+    assert document["counts"]["baselined"] == 0
+    for finding in document["findings"]:
+        assert set(finding) == {
+            "rule", "path", "line", "col", "message", "content",
+        }
+        assert finding["rule"].startswith("RPR")
+        assert finding["line"] >= 1
+    # Deterministic output: findings sorted by location.
+    keys = [
+        (f["path"], f["line"], f["col"], f["rule"])
+        for f in document["findings"]
+    ]
+    assert keys == sorted(keys)
+
+
+def test_select_restricts_rules(capsys):
+    code = main([
+        "lint", str(FIXTURES), "--no-baseline",
+        "--select", "RPR004", "--format", "json",
+    ])
+    assert code == 2
+    document = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in document["findings"]} == {"RPR004"}
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code = main([
+        "lint", str(FIXTURES), "--baseline", str(baseline),
+        "--write-baseline",
+    ])
+    assert code == 0
+    assert baseline.exists()
+    capsys.readouterr()
+
+    code = main(["lint", str(FIXTURES), "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_list_rules(capsys):
+    code = main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule_id in ("RPR001", "RPR007"):
+        assert rule_id in out
+
+
+def test_unknown_rule_is_cli_error(capsys):
+    code = main(["lint", str(FIXTURES), "--select", "RPR999"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

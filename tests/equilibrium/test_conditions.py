@@ -1,6 +1,5 @@
 """Unit tests for the closed-form Thm 7/8/9 conditions."""
 
-import math
 
 import pytest
 

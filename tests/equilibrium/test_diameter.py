@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.equilibrium.diameter import (
     analyse_hub_path,

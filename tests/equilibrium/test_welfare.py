@@ -6,7 +6,7 @@ import pytest
 
 from repro.equilibrium.conditions import harmonic
 from repro.equilibrium.node_utility import NetworkGameModel
-from repro.equilibrium.topologies import circle, complete, path, star
+from repro.equilibrium.topologies import circle, path, star
 from repro.equilibrium.welfare import (
     evaluate_topologies,
     price_of_anarchy,

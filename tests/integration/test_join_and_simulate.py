@@ -5,7 +5,6 @@ measures them. These tests close the loop end-to-end (the test-sized
 version of bench E11).
 """
 
-import math
 
 import pytest
 

@@ -10,7 +10,6 @@ coins, the paper says E should open channels to A and D with sizes 10 and
 9, maximising intermediary revenue and minimising E's own fees.
 """
 
-import math
 from itertools import combinations
 
 import pytest

@@ -6,9 +6,6 @@ membership, routing — must match the legacy networkx implementations
 within 1e-9.
 """
 
-import warnings
-
-import numpy as np
 import pytest
 
 from repro.errors import InvalidParameter, ScenarioError

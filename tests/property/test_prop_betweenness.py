@@ -70,7 +70,6 @@ class TestConservationLaws:
     def test_first_hop_mass_equals_reachable_weight(self, graph):
         """Sum of edge traffic out of s equals the number of targets s can
         reach (each unit of pair weight leaves the source exactly once)."""
-        result = pair_weighted_betweenness(graph, uniform_pair_weight)
         for s in graph.nodes:
             out_mass = sum(
                 value

@@ -5,7 +5,6 @@ infeasible) must never corrupt conservation laws — total coins, per-node
 net worth (modulo fees paid/earned), and HTLC atomicity.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings

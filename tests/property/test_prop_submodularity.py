@@ -8,7 +8,6 @@ own assumption).
 import math
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Unit tests for the Poisson workload generator."""
 
-import numpy as np
 import pytest
 
 from repro.errors import InvalidParameter
@@ -8,7 +7,7 @@ from repro.transactions.distributions import (
     EmpiricalDistribution,
     UniformDistribution,
 )
-from repro.transactions.sizes import FixedSize, UniformSizes
+from repro.transactions.sizes import UniformSizes
 from repro.transactions.workload import PoissonWorkload
 
 
