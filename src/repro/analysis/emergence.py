@@ -19,7 +19,8 @@ rows.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from ..evolution.trajectory import classify_topology  # noqa: F401  (re-export)
 from ..scenarios.specs import (
@@ -32,6 +33,9 @@ from ..scenarios.specs import (
     WorkloadSpec,
 )
 from .resilience import equilibrium_topology_docs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.store import ResultStore
 
 __all__ = [
     "EMERGENCE_COLUMNS",
@@ -134,6 +138,7 @@ def emergence_table(
     mode: str = "structured",
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    cache: Optional[Union["ResultStore", str, Path]] = None,
 ) -> List[Dict[str, Any]]:
     """Run the evolution engine over the three NE topologies and tabulate.
 
@@ -148,6 +153,8 @@ def emergence_table(
             randomness — the controlled comparison.
         a / b / edge_cost / zipf_s: the Section IV utility parameters.
         executor / max_workers: forwarded to ``run_sweep``.
+        cache: result store (or store path) memoising each grid point by
+            its scenario content hash (forwarded to ``run_sweep``).
 
     Returns:
         One row per topology, in grid order, reduced to
@@ -180,7 +187,7 @@ def emergence_table(
         "seed": [seed],
     }
     rows = ScenarioRunner().run_sweep(
-        base, grid, executor=executor, max_workers=max_workers
+        base, grid, executor=executor, max_workers=max_workers, cache=cache
     )
     table: List[Dict[str, Any]] = []
     for row in rows:

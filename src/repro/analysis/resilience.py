@@ -17,7 +17,11 @@ worker processes with bit-identical rows.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.store import ResultStore
 
 from ..scenarios.specs import (
     AttackSpec,
@@ -118,6 +122,7 @@ def resilience_table(
     attack_params: Optional[Dict[str, Any]] = None,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    cache: Optional[Union["ResultStore", str, Path]] = None,
 ) -> List[Dict[str, Any]]:
     """Sweep attacker budgets across the three NE topologies.
 
@@ -137,6 +142,9 @@ def resilience_table(
         executor: ``"serial"`` or ``"process"`` (forwarded to
             :meth:`ScenarioRunner.run_sweep`).
         max_workers: process-pool size (``"process"`` only).
+        cache: result store (or store path) memoising each grid point by
+            its scenario content hash — repeating a table re-executes
+            only points whose resolved scenarios changed.
 
     Returns:
         One row per (topology, budget) grid point, in grid order, reduced
@@ -164,7 +172,7 @@ def resilience_table(
         "seed": [seed],
     }
     rows = ScenarioRunner().run_sweep(
-        base, grid, executor=executor, max_workers=max_workers
+        base, grid, executor=executor, max_workers=max_workers, cache=cache
     )
     table: List[Dict[str, Any]] = []
     for row in rows:

@@ -14,9 +14,23 @@ adds opt-in process parallelism via ``executor="process"``.
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..scenarios.grid import evaluate_grid, grid_points
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.store import ResultStore
 
 __all__ = ["grid_points", "run_sweep"]
 
@@ -30,12 +44,42 @@ def _apply_point(
     return evaluate(**point)
 
 
+def _apply_point_cached(
+    evaluate: Callable[..., Mapping[str, Any]],
+    store_root: str,
+    namespace: str,
+    index: int,
+    point: Dict[str, Any],
+) -> Mapping[str, Any]:
+    """Cache-aware per-point adapter (top-level, picklable).
+
+    The key hashes ``(namespace, point)`` — the evaluator itself cannot
+    be hashed, so callers that change evaluator behaviour must change
+    ``cache_key`` (or the store path) to invalidate.
+    """
+    from ..service.hashing import point_hash
+    from ..service.store import ResultStore
+
+    store = ResultStore(store_root)
+    key = point_hash(namespace, point)
+    cached = store.get(key)
+    if cached is not None:
+        return dict(cached["row"])
+    row = dict(evaluate(**point))
+    # Return the normalised row put() hands back, so cache misses and
+    # later hits serve byte-identical responses.
+    stored = store.put(key, {"row": row}, kind="sweep-row")
+    return dict(stored["row"])
+
+
 def run_sweep(
     grid: Mapping[str, Sequence[Any]],
     evaluate: Callable[..., Mapping[str, Any]],
     progress: Optional[Callable[[int, Dict[str, Any]], None]] = None,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    cache: Optional[Union["ResultStore", str, Path]] = None,
+    cache_key: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Evaluate ``evaluate(**point)`` on every grid point.
 
@@ -53,10 +97,30 @@ def run_sweep(
             ``"process"`` to spread points over a ``ProcessPoolExecutor``;
             row order is identical either way.
         max_workers: process-pool size (``"process"`` only).
+        cache: a :class:`~repro.service.store.ResultStore` (or store
+            path) memoising rows by content address of
+            ``(cache_key, point)``; cached points are not re-evaluated.
+        cache_key: namespace distinguishing different evaluators sharing
+            one store; defaults to the evaluator's qualified name. Change
+            it whenever the evaluator's behaviour changes — the function
+            itself is not part of the hash.
     """
+    if cache is None:
+        apply = partial(_apply_point, evaluate)
+    else:
+        from ..service.store import ResultStore
+
+        store = ResultStore.open(cache)
+        namespace = cache_key or (
+            f"{getattr(evaluate, '__module__', '?')}."
+            f"{getattr(evaluate, '__qualname__', repr(evaluate))}"
+        )
+        apply = partial(
+            _apply_point_cached, evaluate, str(store.root), namespace
+        )
     return evaluate_grid(
         grid,
-        partial(_apply_point, evaluate),
+        apply,
         executor=executor,
         max_workers=max_workers,
         progress=progress,

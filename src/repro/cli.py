@@ -29,9 +29,18 @@ Subcommands:
   churn, traffic epochs, best-response dynamics) on a topology and emit
   the JSON trajectory; ``--emergence`` sweeps the Section IV topologies
   and prints the emergence table instead;
+* ``serve`` — run the long-lived scenario service daemon
+  (:mod:`repro.service`): JSON-lines over localhost TCP, content-
+  addressed result store, async job queue with in-flight dedupe;
+* ``submit`` — send a scenario JSON to a running daemon (``--wait``
+  blocks for the result document);
+* ``status`` — query a running daemon for job states;
+* ``store`` — inspect (``stats``) or evict from (``gc``) a result store
+  without a daemon;
 * ``lint`` — run reprolint, the AST-based invariant linter
   (:mod:`repro.devtools`), over the tree: determinism, GraphView
-  immutability, frozen artifacts, registry discipline (RPR001–RPR007).
+  immutability, frozen artifacts, registry discipline, store/artifact
+  serialisation hygiene (RPR001–RPR008).
 """
 
 from __future__ import annotations
@@ -285,6 +294,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.workers,
         progress=progress,
+        cache=args.cache,
     )
     if args.output:
         with open(args.output, "w") as handle:
@@ -444,6 +454,87 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.daemon import run_server
+
+    def announce(host: str, port: int) -> None:
+        store = args.store or "default store"
+        print(
+            f"repro service listening on {host}:{port} "
+            f"({args.workers} x {args.worker} workers, {store})",
+            flush=True,
+        )
+
+    run_server(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        worker=args.worker,
+        ready=announce,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.daemon import ServiceClient
+
+    scenario = _load_scenario(args.scenario)
+    if args.seed is not None:
+        scenario = scenario.with_overrides({"seed": args.seed})
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    response = client.submit(scenario.to_dict(), wait=args.wait)
+    if args.wait:
+        result = response["result"]
+        print(f"{response['hash']}  state={response['state']}")
+        print(format_table([result["row"]], title=scenario.name))
+    else:
+        print(f"{response['hash']}  state={response['state']}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service.daemon import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    if args.hash:
+        job = client.status(args.hash)["job"]
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    jobs = client.status()["jobs"]
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = [
+        {
+            "hash": job["spec_hash"][:12],
+            "state": job["state"],
+            "waiters": job["waiters"],
+            "attempts": job["attempts"],
+            "error": job["error"] or "",
+        }
+        for job in jobs
+    ]
+    print(format_table(rows, title="service jobs"))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .service.store import ResultStore
+
+    store = ResultStore.open(args.store)
+    if args.store_command == "stats":
+        print(json.dumps(store.stats().to_dict(), indent=2, sort_keys=True))
+        return 0
+    evicted = store.gc(max_entries=args.max_entries, max_bytes=args.max_bytes)
+    stats = store.stats()
+    print(
+        f"evicted {len(evicted)} entries; {stats.entries} remain "
+        f"({stats.total_bytes} bytes)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lightning-creation-games",
@@ -550,6 +641,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--verbose", action="store_true", help="log each grid point to stderr"
+    )
+    p_sweep.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="content-addressed result store: grid points whose resolved "
+        "scenario hash is already stored are served without re-execution",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -692,6 +788,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="process-pool size"
     )
     p_ev.set_defaults(func=_cmd_evolve)
+
+    def add_client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8923)
+        p.add_argument(
+            "--timeout", type=float, default=600.0,
+            help="per-request socket timeout in seconds",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the scenario service daemon (JSON lines over "
+        "localhost TCP; content-addressed result store; async job queue)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8923, help="TCP port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--store", default=None,
+        help="result-store directory (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent scenario executions"
+    )
+    p_serve.add_argument(
+        "--worker", choices=["process", "thread", "inline"], default="process",
+        help="worker kind (process isolates crashes; thread avoids "
+        "fork overhead for small scenarios)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a scenario JSON to a running service daemon"
+    )
+    p_sub.add_argument("scenario", help="scenario JSON path")
+    p_sub.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    p_sub.add_argument(
+        "--wait", action="store_true", help="block until the result is ready"
+    )
+    add_client_args(p_sub)
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_stat = sub.add_parser(
+        "status", help="query a running service daemon for job states"
+    )
+    p_stat.add_argument(
+        "hash", nargs="?", default=None,
+        help="spec hash to inspect (default: list all jobs)",
+    )
+    add_client_args(p_stat)
+    p_stat.set_defaults(func=_cmd_status)
+
+    p_store = sub.add_parser(
+        "store", help="inspect or garbage-collect a result store"
+    )
+    p_store.add_argument(
+        "store_command", choices=["stats", "gc"], metavar="{stats,gc}"
+    )
+    p_store.add_argument(
+        "--store", default=None,
+        help="store directory (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    p_store.add_argument(
+        "--max-entries", dest="max_entries", type=int, default=None,
+        help="gc: keep at most this many entries (LRU eviction)",
+    )
+    p_store.add_argument(
+        "--max-bytes", dest="max_bytes", type=int, default=None,
+        help="gc: keep at most this many payload bytes (LRU eviction)",
+    )
+    p_store.set_defaults(func=_cmd_store)
 
     p_lint = sub.add_parser(
         "lint",

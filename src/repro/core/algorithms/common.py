@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, Mapping
 
-from ..strategy import Strategy
+from ..strategy import Action, Strategy
 
 __all__ = ["OptimisationResult"]
+
+#: Version stamp of the ``to_dict`` document layout.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -32,6 +36,42 @@ class OptimisationResult:
     utility: float
     evaluations: int = 0
     details: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON document; the strategy flattens to ``[peer, locked]``
+        pairs (JSON-scalar peers round-trip losslessly)."""
+        details = json.loads(json.dumps(self.details, default=str))
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "algorithm": self.algorithm,
+            "strategy": [
+                [action.peer, action.locked] for action in self.strategy
+            ],
+            "objective_value": self.objective_value,
+            "utility": self.utility,
+            "evaluations": self.evaluations,
+            "details": details,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "OptimisationResult":
+        """Rebuild a result from a :meth:`to_dict` document."""
+        version = document.get("schema_version", RESULT_SCHEMA_VERSION)
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported OptimisationResult schema_version {version!r}"
+            )
+        return cls(
+            algorithm=document["algorithm"],
+            strategy=Strategy(
+                Action(peer, locked)
+                for peer, locked in document.get("strategy", [])
+            ),
+            objective_value=document["objective_value"],
+            utility=document["utility"],
+            evaluations=document.get("evaluations", 0),
+            details=dict(document.get("details", {})),
+        )
 
     def summary(self) -> str:
         """One-line human-readable description."""

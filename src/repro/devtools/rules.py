@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue: RPR001–RPR007.
+"""The reprolint rule catalogue: RPR001–RPR008.
 
 Each rule encodes one structural invariant the reproduction's headline
 claims rest on (bit-identical backend parity, byte-identical CLI runs,
@@ -12,15 +12,17 @@ RPR004    no calls to deprecated APIs (``to_undirected`` / ``to_directed``)
 RPR005    no wall-clock reads in library code (benchmarks exempt)
 RPR006    plugin registrations are import-time, string-literal-keyed
 RPR007    no mutable default arguments or module-level mutable singletons
+RPR008    store writes are atomic (service/store.py only) and artifact
+          ``to_dict`` documents carry a ``schema_version``
 ========  ==============================================================
 
 Rules register into :data:`RULES` — the same string-keyed
 :class:`~repro.scenarios.registry.Registry` idiom the scenario plugins
 use — so a new rule is a subclass plus a decorator::
 
-    @register_rule("RPR008")
+    @register_rule("RPR009")
     class NoPrintRule(Rule):
-        rule_id = "RPR008"
+        rule_id = "RPR009"
         ...
 
 The deprecation list of RPR004 is itself a tiny registry: call
@@ -48,6 +50,7 @@ __all__ = [
     "WallClockRule",
     "RegistrationDisciplineRule",
     "MutableStateRule",
+    "StoreHygieneRule",
 ]
 
 #: Lint rules, keyed by rule id. Iteration order is sorted, so the
@@ -537,3 +540,114 @@ class MutableStateRule(Rule):
                     "sweep worker processes; move it into a class or "
                     "registry object",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — store-write atomicity and versioned artifact serialisation
+# ---------------------------------------------------------------------------
+
+#: The one module allowed to write into a result store directly — its
+#: tmp+rename dance is what makes concurrent store access crash-safe.
+_STORE_MODULE = "service/store.py"
+#: Artifact classes whose ``to_dict`` must stamp a schema version.
+_VERSIONED_SUFFIXES = ("Report", "Trajectory", "Result")
+_VERSIONED_NAMES = frozenset({"Scenario"})
+_WRITE_MODE_RE = re.compile(r"[wax+]")
+
+
+def _mentions_store(node: ast.AST) -> bool:
+    """Whether an expression's identifiers smell like a store path."""
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            name = sub.value
+        if name is not None and "store" in name.lower():
+            return True
+    return False
+
+
+@register_rule("RPR008")
+class StoreHygieneRule(Rule):
+    rule_id = "RPR008"
+    title = "store-hygiene"
+    description = (
+        "Result-store entries are written only by service/store.py "
+        "(atomic tmp+rename; a direct `open(store_path, 'w')` elsewhere "
+        "can expose half-written JSON to concurrent readers), and "
+        "artifact `to_dict` documents (Scenario, *Report, *Trajectory, "
+        "*Result) must stamp a `schema_version` so stored payloads "
+        "invalidate cleanly when their layout changes."
+    )
+
+    def _exempt(self) -> bool:
+        return self.ctx.path.endswith(_STORE_MODULE)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._exempt():
+            return
+        func = node.func
+        # open(path_mentioning_store, "w"/"a"/"x"/"+")
+        if isinstance(func, ast.Name) and func.id == "open" and node.args:
+            mode = None
+            if len(node.args) > 1:
+                mode = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            if (
+                isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and _WRITE_MODE_RE.search(mode.value)
+                and _mentions_store(node.args[0])
+            ):
+                self.report(
+                    node,
+                    "non-atomic write into a store directory: concurrent "
+                    "readers can observe the half-written entry; go "
+                    "through `ResultStore.put` (atomic tmp+rename) instead",
+                )
+            return
+        # store_path.write_text(...) / .write_bytes(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("write_text", "write_bytes")
+            and _mentions_store(func.value)
+        ):
+            self.report(
+                node,
+                f"`{func.attr}()` on a store path bypasses the store's "
+                "atomic tmp+rename protocol; use `ResultStore.put`",
+            )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        name = node.name
+        if not (
+            name.endswith(_VERSIONED_SUFFIXES) or name in _VERSIONED_NAMES
+        ):
+            return
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "to_dict"
+                and not self._stamps_version(stmt)
+            ):
+                self.report(
+                    stmt,
+                    f"`{name}.to_dict` emits an unversioned document; "
+                    "include a `schema_version` key so stored artifacts "
+                    "invalidate cleanly when the layout changes",
+                )
+
+    @staticmethod
+    def _stamps_version(func: ast.FunctionDef) -> bool:
+        for sub in ast.walk(func):
+            if (
+                isinstance(sub, ast.Constant)
+                and sub.value == "schema_version"
+            ):
+                return True
+        return False

@@ -87,6 +87,10 @@ class ScenarioError(ReproError):
     """A scenario specification is malformed or cannot be executed."""
 
 
+class ServiceError(ReproError):
+    """A failure in the scenario service layer (store, job queue, daemon)."""
+
+
 class UnknownPluginError(ScenarioError):
     """A scenario references a plugin key no registry entry matches."""
 

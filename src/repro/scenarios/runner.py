@@ -21,8 +21,10 @@ self-register their plugins (see :mod:`repro.scenarios.registry`).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from functools import partial
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -32,6 +34,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Union,
 )
 
 # Imported for the side effect of registering the builtin plugins.
@@ -67,10 +70,15 @@ from .specs import Scenario, SimulationSpec
 if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids cycles
     from ..attacks.report import AttackReport
     from ..evolution.trajectory import Trajectory
+    from ..service.store import ResultStore
+
+#: Version stamp of the ``ScenarioResult.to_dict`` document layout.
+RESULT_SCHEMA_VERSION = 1
 
 __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
+    "resolve_sweep_point",
     "build_batched_engine",
     "build_churn",
     "build_engine",
@@ -127,6 +135,86 @@ class ScenarioResult:
         if self.graph is None:
             raise ScenarioError("scenario produced no graph to view")
         return self.graph.view(directed=directed, reduced=reduced)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON document of everything the run produced.
+
+        The graph serialises as a describegraph snapshot (node ids
+        coerced to strings, the snapshot layer's convention), metrics and
+        reports through their own schema-versioned ``to_dict`` forms.
+        The document is the store payload of the scenario service:
+        ``to_dict(from_dict(doc)) == doc`` holds for every stored doc,
+        which is what the byte-identical cache-hit guarantee rests on.
+        """
+        metrics = self.metrics.to_dict() if self.metrics is not None else None
+        baseline = (
+            self.baseline_metrics.to_dict()
+            if self.baseline_metrics is not None else None
+        )
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "scenario": self.scenario.to_dict(),
+            "row": _plain(self.row),
+            "graph": (
+                _snapshot_io.to_describegraph(self.graph)
+                if self.graph is not None else None
+            ),
+            "optimisation": (
+                self.optimisation.to_dict()
+                if self.optimisation is not None else None
+            ),
+            "metrics": metrics,
+            "attack": self.attack.to_dict() if self.attack is not None else None,
+            "baseline_metrics": baseline,
+            "evolution": (
+                self.evolution.to_dict() if self.evolution is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from a :meth:`to_dict` document."""
+        from ..attacks.report import AttackReport
+        from ..evolution.trajectory import Trajectory
+
+        if not isinstance(document, Mapping):
+            raise ScenarioError(
+                f"ScenarioResult document must be a mapping, "
+                f"got {type(document).__name__}"
+            )
+        version = document.get("schema_version", RESULT_SCHEMA_VERSION)
+        if version != RESULT_SCHEMA_VERSION:
+            raise ScenarioError(
+                f"unsupported ScenarioResult schema_version {version!r}"
+            )
+
+        def section(key: str, parse: Callable[[Any], Any]) -> Any:
+            raw = document.get(key)
+            return None if raw is None else parse(raw)
+
+        return cls(
+            scenario=Scenario.from_dict(document["scenario"]),
+            row=dict(document.get("row", {})),
+            graph=section("graph", _snapshot_io.from_describegraph),
+            optimisation=section("optimisation", OptimisationResult.from_dict),
+            metrics=section("metrics", SimulationMetrics.from_dict),
+            attack=section("attack", AttackReport.from_dict),
+            baseline_metrics=section(
+                "baseline_metrics", SimulationMetrics.from_dict
+            ),
+            evolution=section("evolution", Trajectory.from_dict),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioResult":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid result JSON: {exc}") from exc
+        return cls.from_dict(document)
 
     def summary(self) -> str:
         """One-line human-readable description of the headline numbers."""
@@ -269,6 +357,7 @@ class ScenarioRunner:
         executor: str = "serial",
         max_workers: Optional[int] = None,
         progress: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+        cache: Optional[Union["ResultStore", str, Path]] = None,
     ) -> List[Dict[str, Any]]:
         """Evaluate ``scenario`` across a grid of dotted-path overrides.
 
@@ -283,14 +372,38 @@ class ScenarioRunner:
         order for both executors, so ``executor="process"`` is a drop-in
         speedup for ``executor="serial"``.
 
+        With ``cache`` set, every point is content-addressed through the
+        result store (:mod:`repro.service.store`): a point whose resolved
+        scenario hash is already stored is **not executed** — its row
+        comes from the stored result document — and every computed point
+        is written back. Rows are identical to the uncached path either
+        way (modulo JSON number normalisation on cache hits), and the
+        store's atomic writes make ``executor="process"`` safe to share
+        one cache directory across workers.
+
         Args:
             scenario: the base scenario.
             grid: override path -> values.
             executor: ``"serial"`` or ``"process"``.
             max_workers: process-pool size (``"process"`` only).
             progress: optional ``(index, point)`` callback.
+            cache: a :class:`~repro.service.store.ResultStore`, a store
+                path, or ``None`` (no caching).
         """
-        evaluate = partial(_evaluate_sweep_point, scenario.to_dict())
+        if cache is None:
+            evaluate = partial(_evaluate_sweep_point, scenario.to_dict())
+        else:
+            from ..service.store import ResultStore
+
+            store = ResultStore.open(cache)
+            # Pass the store by path, not by object: each worker process
+            # re-opens it, and atomic tmp+rename writes keep concurrent
+            # writers of one directory safe.
+            evaluate = partial(
+                _evaluate_sweep_point_cached,
+                scenario.to_dict(),
+                str(store.root),
+            )
         return evaluate_grid(
             grid,
             evaluate,
@@ -300,10 +413,16 @@ class ScenarioRunner:
         )
 
 
-def _evaluate_sweep_point(
-    scenario_doc: Dict[str, Any], index: int, point: Dict[str, Any]
-) -> Dict[str, Any]:
-    """Top-level (hence picklable) sweep-point evaluator."""
+def resolve_sweep_point(
+    scenario_doc: Mapping[str, Any], index: int, point: Mapping[str, Any]
+) -> Scenario:
+    """The exact scenario grid point ``index`` executes.
+
+    Shared by every sweep driver — the in-process executors, the
+    cache-aware path, and the ``repro serve`` daemon's ``sweep``
+    command — so all of them agree on the resolved spec and therefore on
+    its content hash.
+    """
     base = Scenario.from_dict(scenario_doc)
     overrides = dict(point)
     if point:
@@ -311,4 +430,52 @@ def _evaluate_sweep_point(
         # degenerate empty grid keeps the scenario's own seed so a
         # one-row sweep reproduces `run-scenario` on the same file.
         overrides.setdefault("seed", derive_seed(base.seed, index))
-    return ScenarioRunner().run(base.with_overrides(overrides)).row
+    return base.with_overrides(overrides)
+
+
+def _evaluate_sweep_point(
+    scenario_doc: Dict[str, Any], index: int, point: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Top-level (hence picklable) sweep-point evaluator."""
+    return ScenarioRunner().run(resolve_sweep_point(scenario_doc, index, point)).row
+
+
+def _evaluate_sweep_point_cached(
+    scenario_doc: Dict[str, Any],
+    store_root: str,
+    index: int,
+    point: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Cache-aware sweep-point evaluator (top-level, picklable).
+
+    Store hit: the row comes from the stored result document, zero
+    execution. Miss: run, write the full result document back, return
+    the freshly computed row.
+    """
+    from ..service.store import ResultStore
+
+    resolved = resolve_sweep_point(scenario_doc, index, point)
+    store = ResultStore(store_root)
+    key = resolved.content_hash()
+    payload = store.get(key)
+    if payload is not None:
+        return dict(payload["row"])
+    result = ScenarioRunner().run(resolved)
+    # Return the *normalised* row put() hands back (sorted keys, ints
+    # collapsed), so miss and hit responses are byte-identical.
+    stored = store.put(key, result.to_dict())
+    return dict(stored["row"])
+
+
+def _plain(value: Any) -> Any:
+    """Coerce ``value`` to plain JSON types (numpy scalars included)."""
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)

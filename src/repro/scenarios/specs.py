@@ -580,6 +580,23 @@ class Scenario:
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def content_hash(self) -> str:
+        """Stable sha256 content address of this scenario.
+
+        The digest is taken over the canonical JSON of :meth:`to_dict`
+        (sorted keys, normalised numbers) and salted with the spec and
+        artifact schema versions, so equal scenarios hash identically
+        across processes and machines while any schema change retires
+        old addresses cleanly. This is the key of the content-addressed
+        result store (:mod:`repro.service`): same hash, same result —
+        never recomputed.
+        """
+        # Local import: repro.service.hashing imports this module's
+        # SCHEMA_VERSION at module scope, so the cycle resolves lazily.
+        from ..service.hashing import scenario_content_hash
+
+        return scenario_content_hash(self.to_dict())
+
     @classmethod
     def from_json(cls, text: str) -> "Scenario":
         try:

@@ -4,11 +4,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["SimulationMetrics"]
 
 Edge = Tuple[Hashable, Hashable]
+
+#: Version stamp of the ``to_dict`` document layout.
+METRICS_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -116,6 +119,66 @@ class SimulationMetrics:
             out.seed = seeds.pop()
         return out
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON document (see :meth:`from_dict` for the inverse).
+
+        Per-node tallies serialise as ``[node, value]`` pair lists and
+        per-edge tallies as ``[src, dst, count]`` triples — JSON objects
+        only take string keys, and node ids may be ints. Node ids that
+        are themselves JSON scalars round-trip losslessly.
+        """
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "attempted": self.attempted,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "volume_delivered": self.volume_delivered,
+            "revenue": _pairs(self.revenue),
+            "fees_paid": _pairs(self.fees_paid),
+            "sent": _pairs(self.sent),
+            "received": _pairs(self.received),
+            "edge_traffic": [
+                [src, dst, count]
+                for (src, dst), count in sorted(
+                    self.edge_traffic.items(), key=lambda kv: str(kv[0])
+                )
+            ],
+            "failure_reasons": {
+                str(reason): count
+                for reason, count in sorted(self.failure_reasons.items())
+            },
+            "horizon": self.horizon,
+            "htlc_locked_peak": self.htlc_locked_peak,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "SimulationMetrics":
+        """Rebuild metrics from a :meth:`to_dict` document."""
+        version = document.get("schema_version", METRICS_SCHEMA_VERSION)
+        if version != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported SimulationMetrics schema_version {version!r}"
+            )
+        metrics = cls(
+            attempted=document.get("attempted", 0),
+            succeeded=document.get("succeeded", 0),
+            failed=document.get("failed", 0),
+            volume_delivered=document.get("volume_delivered", 0.0),
+            horizon=document.get("horizon", 0.0),
+            htlc_locked_peak=document.get("htlc_locked_peak", 0.0),
+            seed=document.get("seed"),
+        )
+        for name in ("revenue", "fees_paid", "sent", "received"):
+            table = getattr(metrics, name)
+            for node, value in document.get(name, []):
+                table[node] = value
+        for src, dst, count in document.get("edge_traffic", []):
+            metrics.edge_traffic[(src, dst)] = count
+        for reason, count in document.get("failure_reasons", {}).items():
+            metrics.failure_reasons[reason] = count
+        return metrics
+
     def summary(self) -> str:
         return (
             f"payments: {self.succeeded}/{self.attempted} ok "
@@ -123,3 +186,11 @@ class SimulationMetrics:
             f"total revenue={sum(self.revenue.values()):.4g} "
             f"over t={self.horizon:.4g}"
         )
+
+
+def _pairs(table: Mapping[Hashable, Any]) -> List[List[Any]]:
+    """Sorted ``[node, value]`` pairs (stable across dict orderings)."""
+    return [
+        [node, value]
+        for node, value in sorted(table.items(), key=lambda kv: str(kv[0]))
+    ]

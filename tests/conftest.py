@@ -8,6 +8,20 @@ from repro.network.graph import ChannelGraph
 from repro.params import ModelParameters
 
 
+@pytest.fixture(autouse=True)
+def isolated_result_store(tmp_path, monkeypatch):
+    """Point the default result store at a per-test tmp directory.
+
+    Anything resolving the store location through ``$REPRO_STORE``
+    (``ResultStore.open(None)``, ``JobManager()``, the CLI defaults)
+    lands here instead of the user's ``~/.cache/repro``, so tests never
+    read or pollute a real cache.
+    """
+    store_dir = tmp_path / "repro-store"
+    monkeypatch.setenv("REPRO_STORE", str(store_dir))
+    return store_dir
+
+
 @pytest.fixture
 def diamond() -> ChannelGraph:
     """4-node diamond: a-b, b-c, c-d, b-d (all balances 5/5)."""

@@ -1,0 +1,35 @@
+"""RPR008 fixture: non-atomic store writes + unversioned artifacts."""
+
+import json
+
+
+def overwrite_entry(store_path, payload):
+    with open(store_path, "w") as handle:  # finding: non-atomic store write
+        json.dump(payload, handle)
+
+
+def dump_entry(store_dir, text):
+    store_dir.write_text(text)  # finding: bypasses tmp+rename
+
+
+class DamageReport:
+    def __init__(self, loss):
+        self.loss = loss
+
+    def to_dict(self):  # finding: unversioned artifact document
+        return {"loss": self.loss}
+
+
+class PlainTable:
+    def to_dict(self):  # ok: not an artifact class name
+        return {"rows": 0}
+
+
+def read_entry(store_path):
+    with open(store_path) as handle:  # ok: read-only open
+        return json.load(handle)
+
+
+class VersionedReport:
+    def to_dict(self):  # ok: stamps schema_version
+        return {"schema_version": 1}

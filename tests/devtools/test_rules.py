@@ -22,6 +22,7 @@ RULE_FIXTURES = [
     ("RPR005", "rpr005_wall_clock.py", 3),
     ("RPR006", "rpr006_registration.py", 2),
     ("RPR007", "rpr007_mutable.py", 3),
+    ("RPR008", "rpr008_store_write.py", 3),
 ]
 
 

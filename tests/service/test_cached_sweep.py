@@ -1,0 +1,223 @@
+"""Cache-aware sweeps: repeated grids re-execute zero points.
+
+Covers both sweep front doors: :meth:`ScenarioRunner.run_sweep`
+(scenario grids, keyed by scenario content hash) and
+:func:`repro.analysis.sweeps.run_sweep` (callable-per-point grids,
+keyed by (namespace, point)).
+"""
+
+import pytest
+
+from repro.analysis import sweeps
+from repro.scenarios.runner import ScenarioRunner, resolve_sweep_point
+from repro.scenarios.specs import Scenario, SimulationSpec, TopologySpec
+from repro.service.store import ResultStore
+
+
+def scenario():
+    return Scenario(
+        name="cache-sweep",
+        topology=TopologySpec("star", {"leaves": 3}),
+        simulation=SimulationSpec(horizon=3.0),
+        seed=13,
+    )
+
+
+GRID = {"topology.params.leaves": [3, 4, 5]}
+
+
+@pytest.fixture
+def run_probe(monkeypatch):
+    """Count actual ScenarioRunner.run executions."""
+    calls = []
+    original = ScenarioRunner.run
+
+    def counting(self, s):
+        calls.append(s.content_hash())
+        return original(self, s)
+
+    monkeypatch.setattr(ScenarioRunner, "run", counting)
+    return calls
+
+
+class TestScenarioSweepCache:
+    def test_second_pass_executes_zero_points(self, tmp_path, run_probe):
+        store = ResultStore(tmp_path / "store")
+        runner = ScenarioRunner()
+        first = runner.run_sweep(scenario(), GRID, cache=store)
+        executed_first = len(run_probe)
+        assert executed_first == len(first) == 3
+        second = runner.run_sweep(scenario(), GRID, cache=store)
+        assert len(run_probe) == executed_first  # zero re-executions
+        assert second == first
+
+    def test_cached_rows_match_uncached_rows(self, tmp_path):
+        import json
+
+        runner = ScenarioRunner()
+        plain = runner.run_sweep(scenario(), GRID)
+        cached = runner.run_sweep(scenario(), GRID, cache=str(tmp_path / "s"))
+        replayed = runner.run_sweep(scenario(), GRID, cache=str(tmp_path / "s"))
+        normalised = json.loads(json.dumps(plain))
+        assert cached == normalised
+        assert replayed == normalised
+
+    def test_partial_overlap_executes_only_new_points(self, tmp_path, run_probe):
+        store = ResultStore(tmp_path / "store")
+        runner = ScenarioRunner()
+        runner.run_sweep(scenario(), {"topology.params.leaves": [3, 4]}, cache=store)
+        assert len(run_probe) == 2
+        runner.run_sweep(scenario(), GRID, cache=store)
+        # leaves=3,4 at the same grid indices hit; only leaves=5 runs
+        assert len(run_probe) == 3
+
+    def test_store_keys_are_resolved_point_hashes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        ScenarioRunner().run_sweep(scenario(), GRID, cache=store)
+        doc = scenario().to_dict()
+        expected = {
+            resolve_sweep_point(doc, i, {"topology.params.leaves": leaves})
+            .content_hash()
+            for i, leaves in enumerate(GRID["topology.params.leaves"])
+        }
+        assert set(store.keys()) == expected
+
+    def test_process_executor_shares_the_cache(self, tmp_path):
+        store_path = str(tmp_path / "store")
+        runner = ScenarioRunner()
+        serial = runner.run_sweep(scenario(), GRID, cache=store_path)
+        parallel = runner.run_sweep(
+            scenario(), GRID, cache=store_path, executor="process", max_workers=2
+        )
+        assert parallel == serial
+
+    def test_optimisation_results_with_inf_details_cache(self, tmp_path, run_probe):
+        # Greedy details carry -inf prefix objectives; the store's
+        # payload domain must accept them (regression: the cache layer
+        # used to reject the whole result document).
+        from repro.scenarios.specs import AlgorithmSpec
+
+        base = Scenario(
+            name="cache-opt",
+            topology=TopologySpec("star", {"leaves": 4}),
+            algorithm=AlgorithmSpec(
+                "greedy", {"budget": 4.0, "lock": 1.0}, user="newcomer"
+            ),
+            seed=13,
+        )
+        grid = {"algorithm.params.budget": [3.0, 4.0]}
+        store = ResultStore(tmp_path / "store")
+        runner = ScenarioRunner()
+        first = runner.run_sweep(base, grid, cache=store)
+        assert len(run_probe) == 2
+        second = runner.run_sweep(base, grid, cache=store)
+        assert len(run_probe) == 2  # both points served from the store
+        assert second == first
+
+    def test_seed_override_in_grid_changes_keys(self, tmp_path, run_probe):
+        store = ResultStore(tmp_path / "store")
+        runner = ScenarioRunner()
+        runner.run_sweep(scenario(), GRID, cache=store)
+        count = len(run_probe)
+        pinned = dict(GRID)
+        pinned["seed"] = [99]
+        runner.run_sweep(scenario(), pinned, cache=store)
+        assert len(run_probe) == count + 3  # different seeds, all misses
+
+
+def _area(width, height):
+    return {"area": width * height}
+
+
+class TestCallableSweepCache:
+    GRID = {"width": [2, 3], "height": [4.0]}
+
+    def test_rows_identical_and_memoised(self, tmp_path):
+        calls = []
+
+        def evaluate(width, height):
+            calls.append((width, height))
+            return _area(width, height)
+
+        store = tmp_path / "store"
+        first = sweeps.run_sweep(
+            self.GRID, evaluate, cache=store, cache_key="area"
+        )
+        assert len(calls) == 2
+        second = sweeps.run_sweep(
+            self.GRID, evaluate, cache=store, cache_key="area"
+        )
+        assert len(calls) == 2  # all served from the store
+        assert second == first
+        assert first == [
+            {"width": 2, "height": 4.0, "area": 8},
+            {"width": 3, "height": 4.0, "area": 12},
+        ]
+
+    def test_namespace_separates_evaluators(self, tmp_path):
+        store = tmp_path / "store"
+        a = sweeps.run_sweep(
+            self.GRID, lambda width, height: {"v": width},
+            cache=store, cache_key="first",
+        )
+        b = sweeps.run_sweep(
+            self.GRID, lambda width, height: {"v": height},
+            cache=store, cache_key="second",
+        )
+        assert [row["v"] for row in a] == [2, 3]
+        assert [row["v"] for row in b] == [4.0, 4.0]
+
+    def test_uncached_path_unchanged(self):
+        rows = sweeps.run_sweep(self.GRID, _area)
+        assert rows[0]["area"] == 8
+
+    def test_process_executor_with_cache(self, tmp_path):
+        store = str(tmp_path / "store")
+        rows = sweeps.run_sweep(
+            self.GRID, _area, executor="process", max_workers=2,
+            cache=store, cache_key="area",
+        )
+        again = sweeps.run_sweep(
+            self.GRID, _area, cache=store, cache_key="area"
+        )
+        assert again == rows
+
+
+class TestAnalysisTablesForwardCache:
+    def test_resilience_table_accepts_cache(self, tmp_path, monkeypatch):
+        from repro.analysis import resilience
+
+        captured = {}
+        original = ScenarioRunner.run_sweep
+
+        def spy(self, base, grid, **kwargs):
+            captured.update(kwargs)
+            return original(self, base, grid, **kwargs)
+
+        monkeypatch.setattr(ScenarioRunner, "run_sweep", spy)
+        store = ResultStore(tmp_path / "store")
+        rows = resilience.resilience_table(
+            [5.0], size=4, horizon=2.0, cache=store
+        )
+        assert captured["cache"] is store
+        assert len(rows) == 3
+        assert len(store) == 3
+
+    def test_emergence_table_accepts_cache(self, tmp_path, monkeypatch):
+        from repro.analysis import emergence
+
+        captured = {}
+        original = ScenarioRunner.run_sweep
+
+        def spy(self, base, grid, **kwargs):
+            captured.update(kwargs)
+            return original(self, base, grid, **kwargs)
+
+        monkeypatch.setattr(ScenarioRunner, "run_sweep", spy)
+        store = ResultStore(tmp_path / "store")
+        rows = emergence.emergence_table(
+            epochs=1, size=4, traffic_horizon=0.0, cache=store
+        )
+        assert captured["cache"] is store
+        assert len(rows) == 3
+        assert len(store) == 3

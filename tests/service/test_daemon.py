@@ -1,0 +1,188 @@
+"""repro serve end to end: protocol, parity, cached resubmission.
+
+The server runs on an ephemeral port inside a loop hosted by a
+background thread; the synchronous :class:`ServiceClient` talks to it
+from the test thread exactly as the CLI would.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.specs import Scenario, SimulationSpec, TopologySpec
+from repro.service.daemon import ServiceClient, ServiceServer
+
+
+def scenario():
+    return Scenario(
+        name="daemon-test",
+        topology=TopologySpec("star", {"leaves": 3}),
+        simulation=SimulationSpec(horizon=3.0),
+        seed=11,
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live daemon on an ephemeral port; yields (client, server)."""
+    started = threading.Event()
+    box = {}
+
+    def host():
+        async def main():
+            srv = ServiceServer(
+                store=str(tmp_path / "store"), port=0, worker="thread",
+                workers=2,
+            )
+            await srv.start()
+            box["server"] = srv
+            started.set()
+            await srv.serve_forever()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=host, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    client = ServiceClient(port=box["server"].port, timeout=120.0)
+    yield client
+    try:
+        client.shutdown()
+    except ServiceError:
+        pass
+    thread.join(timeout=30)
+
+
+class TestProtocol:
+    def test_ping(self, server):
+        assert server.ping() is True
+
+    def test_unknown_command_is_an_error(self, server):
+        with pytest.raises(ServiceError, match="unknown command"):
+            server.request({"cmd": "frobnicate"})
+
+    def test_malformed_json_is_an_error(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=30
+        ) as conn:
+            conn.sendall(b"{not json\n")
+            response = json.loads(conn.makefile().readline())
+        assert response["ok"] is False
+        assert "bad request" in response["error"]
+
+    def test_submit_requires_scenario(self, server):
+        with pytest.raises(ServiceError, match="scenario"):
+            server.request({"cmd": "submit"})
+
+    def test_status_of_unknown_hash(self, server):
+        with pytest.raises(ServiceError, match="unknown job"):
+            server.status("f" * 64)
+
+
+def _comparable(document):
+    """The result document with process-local channel ids masked out.
+
+    ``chan-N`` ids come from a process-global counter, so two runs in
+    one process differ only there; everything else must match exactly.
+    """
+    document = json.loads(json.dumps(document))
+    for edge in (document.get("graph") or {}).get("edges", []):
+        edge["channel_id"] = "chan"
+    return document
+
+
+class TestSubmitAndCache:
+    def test_submitted_result_matches_direct_run(self, server):
+        s = scenario()
+        response = server.submit(s.to_dict(), wait=True)
+        direct = ScenarioRunner().run(s).to_dict()
+        from repro.service.hashing import canonical_json
+
+        assert canonical_json(_comparable(response["result"])) == (
+            canonical_json(_comparable(direct))
+        )
+        assert response["hash"] == s.content_hash()
+
+    def test_resubmission_is_served_from_store(self, server):
+        s = scenario()
+        first = server.submit(s.to_dict(), wait=True)
+        assert first["state"] in ("queued", "running", "done")
+        second = server.submit(s.to_dict(), wait=True)
+        assert second["state"] == "cached"
+        # byte-identical payloads: computed once, replayed from the store
+        assert json.dumps(second["result"], sort_keys=True) == json.dumps(
+            first["result"], sort_keys=True
+        )
+
+    def test_async_submit_then_poll_and_fetch(self, server):
+        s = scenario()
+        ticket = server.submit(s.to_dict(), wait=False)
+        spec_hash = ticket["hash"]
+        for _ in range(600):
+            job = server.status(spec_hash)["job"]
+            if job["state"] in ("done", "cached", "failed"):
+                break
+        assert job["state"] in ("done", "cached")
+        result = server.result(spec_hash)["result"]
+        assert result["row"]["seed"] == 11
+        states = [event["state"] for event in job["events"]]
+        assert states[0] == "queued"
+
+    def test_stats_reports_queue_and_store(self, server):
+        server.submit(scenario().to_dict(), wait=True)
+        stats = server.stats()
+        assert stats["queue"]["jobs"] >= 1
+        assert stats["store"]["entries"] >= 1
+
+
+class TestSweep:
+    def test_sweep_rows_match_local_run_sweep(self, server):
+        s = scenario()
+        grid = {"topology.params.leaves": [3, 4]}
+        remote = server.sweep(s.to_dict(), grid)
+        local = ScenarioRunner().run_sweep(s, grid)
+        normalised = json.loads(json.dumps(local))
+        assert remote["rows"] == normalised
+        assert len(remote["hashes"]) == 2
+
+    def test_second_sweep_is_fully_cached(self, server):
+        s = scenario()
+        grid = {"topology.params.leaves": [3, 4, 5]}
+        first = server.sweep(s.to_dict(), grid)
+        second = server.sweep(s.to_dict(), grid)
+        assert second["rows"] == first["rows"]
+        assert second["states"] == ["cached"] * 3
+        assert second["hashes"] == first["hashes"]
+
+
+class TestShutdown:
+    def test_shutdown_command_stops_the_server(self, tmp_path):
+        started = threading.Event()
+        box = {}
+
+        def host():
+            async def main():
+                srv = ServiceServer(
+                    store=str(tmp_path / "s2"), port=0, worker="inline"
+                )
+                await srv.start()
+                box["server"] = srv
+                started.set()
+                await srv.serve_forever()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=host, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30)
+        client = ServiceClient(port=box["server"].port, timeout=30.0)
+        assert client.shutdown()["stopping"] is True
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        with pytest.raises(ServiceError):
+            client.ping()

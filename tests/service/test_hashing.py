@@ -1,0 +1,132 @@
+"""Content-address stability: the hash IS the cache key."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.specs import Scenario, SimulationSpec, TopologySpec
+from repro.service.hashing import (
+    canonical_json,
+    content_hash,
+    point_hash,
+    scenario_content_hash,
+)
+
+
+def scenario(**overrides):
+    base = dict(
+        name="hash-test",
+        topology=TopologySpec("star", {"leaves": 4}),
+        simulation=SimulationSpec(horizon=10.0),
+        seed=7,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_integral_floats_collapse_to_ints(self):
+        assert canonical_json({"x": 10.0}) == canonical_json({"x": 10})
+
+    def test_negative_zero_collapses(self):
+        assert canonical_json(-0.0) == canonical_json(0)
+
+    def test_fractional_floats_survive(self):
+        assert json.loads(canonical_json(0.5)) == 0.5
+
+    def test_tuples_and_lists_agree(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ScenarioError):
+            canonical_json(float("nan"))
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ScenarioError):
+            canonical_json({"x": float("inf")})
+
+    def test_payload_domain_admits_non_finite(self):
+        # Result documents may carry -inf (infeasible greedy prefixes);
+        # the store serialises them with stable Infinity/NaN tokens.
+        text = canonical_json(
+            {"v": [float("-inf"), float("inf")]}, allow_non_finite=True
+        )
+        assert json.loads(text) == {"v": [float("-inf"), float("inf")]}
+        nan_text = canonical_json(float("nan"), allow_non_finite=True)
+        assert nan_text == canonical_json(float("nan"), allow_non_finite=True)
+        assert math.isnan(json.loads(nan_text))
+
+    def test_non_json_value_rejected(self):
+        with pytest.raises(ScenarioError):
+            canonical_json({"x": object()})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(ScenarioError):
+            canonical_json({1: "x"})
+
+
+class TestScenarioContentHash:
+    def test_hash_is_sha256_hex(self):
+        digest = scenario().content_hash()
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_round_trip_preserves_hash(self):
+        s = scenario()
+        assert Scenario.from_dict(s.to_dict()).content_hash() == s.content_hash()
+        assert Scenario.from_json(s.to_json()).content_hash() == s.content_hash()
+
+    def test_equal_scenarios_hash_equal_across_numeric_types(self):
+        a = scenario(simulation=SimulationSpec(horizon=10))
+        b = scenario(simulation=SimulationSpec(horizon=10.0))
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+    def test_different_seed_changes_hash(self):
+        assert scenario(seed=1).content_hash() != scenario(seed=2).content_hash()
+
+    def test_different_params_change_hash(self):
+        other = scenario(topology=TopologySpec("star", {"leaves": 5}))
+        assert other.content_hash() != scenario().content_hash()
+
+    def test_module_function_matches_method(self):
+        s = scenario()
+        assert scenario_content_hash(s.to_dict()) == s.content_hash()
+
+
+class TestVersionSalting:
+    def test_artifact_version_salts_the_hash(self, monkeypatch):
+        import repro.service.hashing as hashing
+
+        before = scenario_content_hash(scenario().to_dict())
+        monkeypatch.setattr(
+            hashing, "_HASH_SALT", hashing._HASH_SALT + "bump\n"
+        )
+        assert scenario_content_hash(scenario().to_dict()) != before
+
+    def test_content_hash_differs_from_raw_sha256(self):
+        # The salt means plain sha256 of the canonical JSON is NOT the key
+        # — artifact-schema bumps must invalidate old entries.
+        import hashlib
+
+        doc = {"a": 1}
+        raw = hashlib.sha256(canonical_json(doc).encode()).hexdigest()
+        assert content_hash(doc) != raw
+
+
+class TestPointHash:
+    def test_namespace_separates_evaluators(self):
+        point = {"n": 10}
+        assert point_hash("eval-a", point) != point_hash("eval-b", point)
+
+    def test_point_identity(self):
+        assert point_hash("e", {"n": 10, "m": 2.0}) == point_hash(
+            "e", {"m": 2, "n": 10.0}
+        )

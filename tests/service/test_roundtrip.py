@@ -1,0 +1,253 @@
+"""Lossless JSON round-trips of the result artifacts (satellite of the
+service layer: everything the store holds must rebuild bit-for-bit)."""
+
+import json
+
+import pytest
+
+from repro.attacks.report import AttackReport
+from repro.core.algorithms.common import OptimisationResult
+from repro.core.strategy import Action, Strategy
+from repro.evolution.trajectory import EpochRecord, Trajectory
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.scenarios.specs import (
+    AlgorithmSpec,
+    AttackSpec,
+    EvolutionSpec,
+    FeeSpec,
+    Scenario,
+    SimulationSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.simulation.metrics import SimulationMetrics
+
+
+class TestAttackReportRoundTrip:
+    def make(self):
+        return AttackReport(
+            strategy="slow-jamming", victim="center", horizon=40.0,
+            budget=100.0, budget_spent=60.0, attacker_fees_paid=1.5,
+            attacks_launched=10, attacks_held=8, attacks_rejected=2,
+            locked_liquidity_integral=123.4,
+            baseline_attempted=50, baseline_succeeded=40,
+            baseline_success_rate=0.8, attacked_succeeded=30,
+            attacked_success_rate=0.6, success_rate_degradation=0.2,
+            baseline_victim_revenue=5.0, attacked_victim_revenue=2.0,
+            victim_revenue_delta=3.0, baseline_total_revenue=9.0,
+            attacked_total_revenue=6.0,
+        )
+
+    def test_json_round_trip_is_lossless(self):
+        report = self.make()
+        assert AttackReport.from_json(report.to_json()) == report
+
+    def test_document_is_schema_versioned(self):
+        assert self.make().to_dict()["schema_version"] == 1
+
+    def test_version_mismatch_rejected(self):
+        doc = self.make().to_dict()
+        doc["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            AttackReport.from_dict(doc)
+
+    def test_unknown_field_rejected(self):
+        doc = self.make().to_dict()
+        doc["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            AttackReport.from_dict(doc)
+
+    def test_missing_field_rejected(self):
+        doc = self.make().to_dict()
+        del doc["victim"]
+        with pytest.raises(ValueError, match="missing"):
+            AttackReport.from_dict(doc)
+
+
+class TestTrajectoryRoundTrip:
+    def make(self):
+        record = EpochRecord(
+            epoch=0, nodes=4, channels=3, arrivals=1, departures=0,
+            closure_costs=0.0, attempted=5, succeeded=4, success_rate=0.8,
+            total_revenue=1.5, revenue_gini=0.2, moves=1, max_gain=0.1,
+            welfare=2.0, topology="star",
+            move_log=({"node": "a", "gain": 0.1, "add": ["b"], "remove": []},),
+        )
+        return Trajectory(
+            records=(record,), converged=True, epochs_run=1, seed=7,
+            final_topology="star", nash_stable=True, final_max_gain=0.0,
+            totals={"total_moves": 1.0},
+        )
+
+    def test_json_round_trip_is_lossless(self):
+        trajectory = self.make()
+        assert Trajectory.from_json(trajectory.to_json()) == trajectory
+
+    def test_document_is_schema_versioned(self):
+        assert self.make().to_dict()["schema_version"] == 1
+
+    def test_version_mismatch_rejected(self):
+        doc = self.make().to_dict()
+        doc["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            Trajectory.from_dict(doc)
+
+    def test_unknown_epoch_field_rejected(self):
+        doc = self.make().to_dict()
+        doc["epochs"][0]["mystery"] = True
+        with pytest.raises(ValueError, match="unknown EpochRecord"):
+            Trajectory.from_dict(doc)
+
+
+class TestSimulationMetricsRoundTrip:
+    def make(self):
+        metrics = SimulationMetrics(seed=3)
+        metrics.attempted = 10
+        metrics.succeeded = 8
+        metrics.failed = 2
+        metrics.volume_delivered = 12.5
+        metrics.revenue["hub"] = 1.25
+        metrics.fees_paid["a"] = 0.5
+        metrics.sent["a"] = 4
+        metrics.received["b"] = 4
+        metrics.edge_traffic[("a", "hub")] = 4
+        metrics.failure_reasons["no liquidity"] = 2
+        metrics.horizon = 50.0
+        metrics.htlc_locked_peak = 3.5
+        return metrics
+
+    def test_round_trip_preserves_all_tallies(self):
+        metrics = self.make()
+        back = SimulationMetrics.from_dict(
+            json.loads(json.dumps(metrics.to_dict()))
+        )
+        assert back.to_dict() == metrics.to_dict()
+        assert back.revenue["hub"] == 1.25
+        assert back.edge_traffic[("a", "hub")] == 4
+        assert back.seed == 3
+
+    def test_rebuilt_tables_stay_defaultdicts(self):
+        back = SimulationMetrics.from_dict(self.make().to_dict())
+        assert back.revenue["never-seen"] == 0.0
+        assert back.edge_traffic[("x", "y")] == 0
+
+    def test_version_mismatch_rejected(self):
+        doc = self.make().to_dict()
+        doc["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            SimulationMetrics.from_dict(doc)
+
+
+class TestOptimisationResultRoundTrip:
+    def make(self):
+        return OptimisationResult(
+            algorithm="greedy",
+            strategy=Strategy([Action("hub", 2.0), Action("b", 1.0)]),
+            objective_value=1.5,
+            utility=1.2,
+            evaluations=17,
+            details={"prefix": [0.5, 1.0]},
+        )
+
+    def test_round_trip_is_lossless(self):
+        result = self.make()
+        back = OptimisationResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert back.algorithm == result.algorithm
+        assert list(back.strategy) == list(result.strategy)
+        assert back.objective_value == result.objective_value
+        assert back.utility == result.utility
+        assert back.evaluations == result.evaluations
+        assert back.details == {"prefix": [0.5, 1.0]}
+
+    def test_version_mismatch_rejected(self):
+        doc = self.make().to_dict()
+        doc["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            OptimisationResult.from_dict(doc)
+
+
+def _result_doc_round_trip(result):
+    document = result.to_dict()
+    # the store normalises through canonical JSON; survive that too
+    back = ScenarioResult.from_json(json.dumps(document))
+    assert back.to_dict() == json.loads(json.dumps(document))
+    return back
+
+
+class TestScenarioResultRoundTrip:
+    def test_simulation_result(self):
+        scenario = Scenario(
+            name="rt-sim",
+            topology=TopologySpec("star", {"leaves": 3}),
+            workload=WorkloadSpec("poisson", {"zipf_s": 1.0}),
+            fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+            simulation=SimulationSpec(horizon=3.0),
+            seed=5,
+        )
+        result = ScenarioRunner().run(scenario)
+        back = _result_doc_round_trip(result)
+        assert back.scenario == scenario
+        assert back.metrics.to_dict() == result.metrics.to_dict()
+        assert back.graph is not None
+        assert len(back.graph) == len(result.graph)
+
+    def test_optimisation_result(self):
+        scenario = Scenario(
+            name="rt-join",
+            topology=TopologySpec("star", {"leaves": 4}),
+            algorithm=AlgorithmSpec(
+                "greedy", {"budget": 4.0, "lock": 1.0}, user="newcomer"
+            ),
+            seed=5,
+        )
+        result = ScenarioRunner().run(scenario)
+        back = _result_doc_round_trip(result)
+        assert back.optimisation.algorithm == "greedy"
+        assert list(back.optimisation.strategy) == list(
+            result.optimisation.strategy
+        )
+
+    def test_attack_result(self):
+        scenario = Scenario(
+            name="rt-attack",
+            topology=TopologySpec("star", {"leaves": 3, "balance": 5.0}),
+            workload=WorkloadSpec("poisson", {"zipf_s": 1.0}),
+            fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+            simulation=SimulationSpec(
+                horizon=5.0, payment_mode="htlc", htlc_hold_mean=0.2
+            ),
+            attack=AttackSpec("slow-jamming", {"budget": 10.0}),
+            seed=5,
+        )
+        result = ScenarioRunner().run(scenario)
+        back = _result_doc_round_trip(result)
+        assert back.attack == result.attack
+        assert back.baseline_metrics.to_dict() == (
+            result.baseline_metrics.to_dict()
+        )
+
+    def test_evolution_result(self):
+        scenario = Scenario(
+            name="rt-evolve",
+            topology=TopologySpec("star", {"leaves": 3}),
+            workload=WorkloadSpec("poisson", {"zipf_s": 2.0}),
+            fee=FeeSpec("linear", {"base": 0.01, "rate": 0.001}),
+            evolution=EvolutionSpec(epochs=1, traffic_horizon=0.0),
+            seed=5,
+        )
+        result = ScenarioRunner().run(scenario)
+        back = _result_doc_round_trip(result)
+        assert back.evolution == result.evolution
+
+    def test_version_mismatch_rejected(self):
+        scenario = Scenario(
+            name="rt-min", topology=TopologySpec("star", {"leaves": 3})
+        )
+        doc = ScenarioRunner().run(scenario).to_dict()
+        doc["schema_version"] = 99
+        from repro.errors import ScenarioError
+
+        with pytest.raises(ScenarioError, match="schema_version"):
+            ScenarioResult.from_dict(doc)
