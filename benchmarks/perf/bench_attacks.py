@@ -7,7 +7,10 @@ report — for each builtin strategy on star topologies of growing size.
 The headline number is **attacker actions per wall-clock second**
 (lock attempts + resolutions processed by the engine), with the honest
 payment throughput of the same run alongside, so regressions in either
-the strategies or the slot-tracking substrate show up directly.
+the strategies or the slot-tracking substrate show up directly. Every
+case runs on both simulation backends — the event engine and the
+vectorised batched engine — and the bench asserts their AttackReports
+are identical before recording the batched rows' speedup.
 
 Run:
     PYTHONPATH=src python benchmarks/perf/bench_attacks.py
@@ -30,6 +33,7 @@ from repro.attacks import AttackRunner
 from repro.scenarios import Scenario, TopologySpec
 
 STRATEGIES = ("slow-jamming", "liquidity-depletion", "fee-griefing")
+BACKENDS = ("event", "batched")
 FULL_CASES = ((16, 40.0), (64, 40.0))  # (leaves, horizon)
 # The smoke case repeats a full case exactly so gate.py can match its
 # rows against the committed BENCH_attacks.json baseline.
@@ -37,8 +41,10 @@ SMOKE_CASES = ((16, 40.0),)
 SEED = 7
 
 
-def attack_scenario(strategy: str, leaves: int, horizon: float) -> Scenario:
-    return default_attack_scenario(
+def attack_scenario(
+    strategy: str, leaves: int, horizon: float, backend: str
+) -> Scenario:
+    scenario = default_attack_scenario(
         TopologySpec("star", {"leaves": leaves, "balance": 10.0}),
         strategy,
         {"budget": 1000.0},
@@ -46,10 +52,13 @@ def attack_scenario(strategy: str, leaves: int, horizon: float) -> Scenario:
         seed=SEED,
         name=f"bench-{strategy}",
     )
+    return scenario.with_overrides({"simulation.backend": backend})
 
 
-def bench_case(strategy: str, leaves: int, horizon: float) -> Dict[str, object]:
-    scenario = attack_scenario(strategy, leaves, horizon)
+def bench_case(
+    strategy: str, leaves: int, horizon: float, backend: str
+) -> Dict[str, object]:
+    scenario = attack_scenario(strategy, leaves, horizon, backend)
     start = time.perf_counter()
     outcome = AttackRunner().run(scenario)
     seconds = time.perf_counter() - start
@@ -61,6 +70,7 @@ def bench_case(strategy: str, leaves: int, horizon: float) -> Dict[str, object]:
     return {
         "strategy": strategy,
         "leaves": leaves,
+        "backend": backend,
         "horizon": horizon,
         "wall_seconds": seconds,
         "attacker_events": attacker_events,
@@ -69,6 +79,7 @@ def bench_case(strategy: str, leaves: int, horizon: float) -> Dict[str, object]:
         "honest_payments_per_sec": honest_events / seconds,
         "victim_revenue_delta": report.victim_revenue_delta,
         "locked_liquidity_integral": report.locked_liquidity_integral,
+        "report": report.to_dict(),
     }
 
 
@@ -93,16 +104,36 @@ def main() -> None:
     results = []
     for leaves, horizon in cases:
         for strategy in STRATEGIES:
-            row = bench_case(strategy, leaves, horizon)
-            results.append(row)
-            print(
-                f"{row['strategy']:20s} leaves={row['leaves']:<4d} "
-                f"attacker={row['attacker_events']:>7d} ev "
-                f"({row['attacker_events_per_sec']:>9.0f}/s)  "
-                f"honest={row['honest_payments']:>6d} pay "
-                f"({row['honest_payments_per_sec']:>7.0f}/s)  "
-                f"wall={row['wall_seconds']*1e3:8.1f}ms"
+            rows = {
+                backend: bench_case(strategy, leaves, horizon, backend)
+                for backend in BACKENDS
+            }
+            # Parity first: the batched replay must be bit-identical
+            # before its speedup means anything.
+            reports = [row.pop("report") for row in rows.values()]
+            if reports[0] != reports[1]:
+                raise SystemExit(
+                    f"backend divergence on {strategy} leaves={leaves}: "
+                    "event and batched AttackReports differ"
+                )
+            rows["batched"]["speedup"] = (
+                rows["batched"]["attacker_events_per_sec"]
+                / rows["event"]["attacker_events_per_sec"]
             )
+            for row in rows.values():
+                results.append(row)
+                speedup = (
+                    f"  {row['speedup']:.2f}x" if "speedup" in row else ""
+                )
+                print(
+                    f"{row['strategy']:20s} leaves={row['leaves']:<4d} "
+                    f"{row['backend']:8s} "
+                    f"attacker={row['attacker_events']:>7d} ev "
+                    f"({row['attacker_events_per_sec']:>9.0f}/s)  "
+                    f"honest={row['honest_payments']:>6d} pay "
+                    f"({row['honest_payments_per_sec']:>7.0f}/s)  "
+                    f"wall={row['wall_seconds']*1e3:8.1f}ms{speedup}"
+                )
 
     document = {
         "benchmark": "attacks",

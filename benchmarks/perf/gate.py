@@ -34,7 +34,11 @@ from typing import Dict, List, Tuple
 #:                    relative metrics, absolute metrics)
 BENCHMARKS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]] = {
     "graphcore": (("workload", "n"), ("speedup",), ()),
-    "attacks": (("strategy", "leaves"), (), ("attacker_events_per_sec",)),
+    "attacks": (
+        ("strategy", "leaves", "backend"),
+        (),
+        ("attacker_events_per_sec",),
+    ),
     "simulation": (
         ("n",),
         ("speedup",),

@@ -30,7 +30,7 @@ def star_friendly_model(n: int) -> NetworkGameModel:
 
 
 def diameter(graph) -> float:
-    undirected = graph.to_undirected()
+    undirected = graph.view(directed=False).to_networkx()
     if not nx.is_connected(undirected):
         return math.inf
     return nx.diameter(undirected)

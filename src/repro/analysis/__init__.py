@@ -1,5 +1,6 @@
 """Sweep, estimation, and reporting helpers for experiments."""
 
+from .countermeasures import countermeasure_table, fee_policy_docs
 from .emergence import classify_topology, emergence_table
 from .resilience import equilibrium_topology_docs, resilience_table
 from .estimation import (
@@ -17,7 +18,9 @@ __all__ = [
     "RateEstimate",
     "ZipfEstimate",
     "classify_topology",
+    "countermeasure_table",
     "emergence_table",
+    "fee_policy_docs",
     "estimate_average_fee",
     "estimate_sender_rates",
     "equilibrium_topology_docs",

@@ -12,7 +12,16 @@ is built from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -20,7 +29,10 @@ from ..errors import ScenarioError
 from ..network.channel import Channel
 from ..network.graph import ChannelGraph
 from ..network.htlc import HtlcPayment, HtlcState
-from ..simulation.engine import SimulationEngine
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..simulation.engine import SimulationEngine
+    from ..simulation.fastpath import BatchedSimulationEngine
 from ..simulation.events import Event
 
 __all__ = ["AttackContext", "AttackTickEvent", "AttackResolveEvent"]
@@ -43,8 +55,10 @@ class AttackContext:
 
     Args:
         graph: the attacked network (attacker channels are added to it).
-        engine: the simulation engine driving the honest workload; the
-            attacker shares its event queue and HTLC router.
+        engine: the engine driving the honest workload — any backend
+            declaring ``event_injection`` in its capabilities (see
+            :mod:`repro.scenarios.capabilities`); the attacker shares
+            its event queue and HTLC router.
         victim: the node whose revenue the attack targets.
         horizon: simulated end time — no attacker event is scheduled past it.
         budget: attacker capital endowment; every channel funding, pushed
@@ -56,7 +70,7 @@ class AttackContext:
     def __init__(
         self,
         graph: ChannelGraph,
-        engine: SimulationEngine,
+        engine: Union["SimulationEngine", "BatchedSimulationEngine"],
         victim: Hashable,
         horizon: float,
         budget: float,
@@ -71,6 +85,10 @@ class AttackContext:
         self.budget = float(budget)
         self.budget_spent = 0.0
         self.fees_paid = 0.0
+        # Unconditional per-attempt fees under a two-sided FeePolicy —
+        # the jamming countermeasure's bite: charged on every lock
+        # attempt (even rejected ones), never refunded.
+        self.upfront_paid = 0.0
         self.attacks_launched = 0
         self.attacks_held = 0
         self.attacks_rejected = 0
@@ -134,6 +152,12 @@ class AttackContext:
         """
         self.attacks_launched += 1
         payment = self.engine.htlc_router.lock(path, amount)
+        # The upfront side charges per hop actually offered, settle or
+        # not — partially placed (then unwound) locks still pay. Dict
+        # check first: success-only policies charge nothing, and jamming
+        # hammers this path tens of thousands of times.
+        if payment.upfront_fees_per_node:
+            self.upfront_paid += payment.upfront_total
         if payment.state is not HtlcState.PENDING:
             self.attacks_rejected += 1
             return None

@@ -26,7 +26,9 @@ from typing import Any, Dict, Mapping, Optional
 __all__ = ["AttackReport"]
 
 #: Version stamp of the ``to_dict`` document layout.
-REPORT_SCHEMA_VERSION = 1
+#: v2 added the two-sided fee-policy columns (``attacker_upfront_paid``,
+#: ``baseline_victim_upfront_revenue``, ``attacked_victim_upfront_revenue``).
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -46,6 +48,10 @@ class AttackReport:
     budget_spent: float
     #: Routing fees the attacker paid on settled adversarial payments.
     attacker_fees_paid: float
+    #: Unconditional per-attempt fees the attacker paid under a two-sided
+    #: :class:`~repro.network.fees.FeePolicy` (0 under success-only fees)
+    #: — charged per hop offered on *every* lock attempt, never refunded.
+    attacker_upfront_paid: float
     #: Lock attempts / successful locks / locks rejected (no balance or
     #: no free HTLC slot on some hop).
     attacks_launched: int
@@ -67,6 +73,10 @@ class AttackReport:
     victim_revenue_delta: float
     baseline_total_revenue: float
     attacked_total_revenue: float
+    #: Upfront fees the victim earned from *honest* traffic (attacker
+    #: upfront fees go to ``attacker_upfront_paid``, not here).
+    baseline_victim_upfront_revenue: float
+    attacked_victim_upfront_revenue: float
 
     @property
     def victim_revenue_loss_fraction(self) -> float:
@@ -74,6 +84,30 @@ class AttackReport:
         if self.baseline_victim_revenue <= 0:
             return 0.0
         return self.victim_revenue_delta / self.baseline_victim_revenue
+
+    @property
+    def attacker_cost(self) -> float:
+        """Everything the attack consumed: committed capital plus the
+        fees burned on settled locks plus the unconditional upfront
+        fees of every attempt."""
+        return (
+            self.budget_spent + self.attacker_fees_paid
+            + self.attacker_upfront_paid
+        )
+
+    @property
+    def attacker_roi(self) -> float:
+        """Victim revenue destroyed per unit of attacker cost.
+
+        The countermeasure lever: upfront fees grow the denominator on
+        every attempt while (being ledger-only) leaving the damage
+        numerator unchanged, so ROI falls strictly as the upfront rate
+        rises. 0 when the attack consumed nothing.
+        """
+        cost = self.attacker_cost
+        if cost <= 0:
+            return 0.0
+        return self.victim_revenue_delta / cost
 
     def to_dict(self) -> Dict[str, Any]:
         """Lossless plain-JSON document (every field, schema-versioned)."""
@@ -124,6 +158,8 @@ class AttackReport:
             "attack_budget": self.budget,
             "budget_spent": self.budget_spent,
             "attacker_fees_paid": self.attacker_fees_paid,
+            "attacker_upfront_paid": self.attacker_upfront_paid,
+            "attacker_roi": self.attacker_roi,
             "attacks_launched": self.attacks_launched,
             "attacks_held": self.attacks_held,
             "attacks_rejected": self.attacks_rejected,
@@ -135,6 +171,10 @@ class AttackReport:
             "attacked_victim_revenue": self.attacked_victim_revenue,
             "victim_revenue_delta": self.victim_revenue_delta,
             "victim_revenue_loss_pct": 100.0 * self.victim_revenue_loss_fraction,
+            "baseline_victim_upfront_revenue":
+                self.baseline_victim_upfront_revenue,
+            "attacked_victim_upfront_revenue":
+                self.attacked_victim_upfront_revenue,
         }
 
     def summary(self) -> str:

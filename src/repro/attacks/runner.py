@@ -25,7 +25,12 @@ from typing import Hashable, List, Optional
 from ..errors import ScenarioError
 from ..network.betweenness import pair_weighted_betweenness
 from ..network.graph import ChannelGraph
-from ..scenarios.factory import build_engine, build_topology, build_workload
+from ..scenarios.capabilities import backend_capabilities
+from ..scenarios.factory import (
+    build_simulation_engine,
+    build_topology,
+    build_workload,
+)
 from ..scenarios.registry import ATTACKS
 from ..scenarios.specs import Scenario
 from ..simulation.metrics import SimulationMetrics
@@ -77,14 +82,14 @@ class AttackRunner:
             raise ScenarioError(
                 "AttackRunner needs a scenario with attack and simulation stages"
             )
-        if scenario.simulation.backend != "event":
+        if not backend_capabilities(scenario.simulation.backend).event_injection:
             # Scenario validation already rejects this combination; the
             # guard keeps the invariant explicit for callers that build
             # scenario-shaped objects by other means.
             raise ScenarioError(
                 "attack strategies schedule events on the engine's shared "
-                "queue and need simulation backend='event'; the batched "
-                "backend has no queue to inject into"
+                f"queue; backend {scenario.simulation.backend!r} does not "
+                "declare event injection in its capabilities"
             )
         strategy = self._build_strategy(spec)
         horizon = scenario.simulation.horizon
@@ -102,7 +107,7 @@ class AttackRunner:
         # rows of one sweep report comparable success rates. Attacker
         # events are never scheduled past the horizon (ctx.schedule), so
         # the attacked queue drains too.
-        baseline = build_engine(scenario, baseline_graph)
+        baseline = build_simulation_engine(scenario, baseline_graph)
         baseline.schedule_transactions(trace)
         baseline_metrics = baseline.run()
         baseline_metrics.horizon = horizon
@@ -111,7 +116,7 @@ class AttackRunner:
         if strategy.slot_cap is not None:
             attacked_graph.set_htlc_slot_cap(strategy.slot_cap)
         victim = select_victim(attacked_graph, strategy.victim)
-        engine = build_engine(scenario, attacked_graph)
+        engine = build_simulation_engine(scenario, attacked_graph)
         engine.schedule_transactions(trace)
         ctx = AttackContext(
             graph=attacked_graph,
@@ -175,6 +180,7 @@ class AttackRunner:
             budget=strategy.budget,
             budget_spent=ctx.budget_spent,
             attacker_fees_paid=ctx.fees_paid,
+            attacker_upfront_paid=ctx.upfront_paid,
             attacks_launched=ctx.attacks_launched,
             attacks_held=ctx.attacks_held,
             attacks_rejected=ctx.attacks_rejected,
@@ -192,4 +198,10 @@ class AttackRunner:
             victim_revenue_delta=baseline_victim - attacked_victim,
             baseline_total_revenue=sum(baseline.revenue.values()),
             attacked_total_revenue=sum(attacked.revenue.values()),
+            baseline_victim_upfront_revenue=baseline.upfront_revenue.get(
+                victim, 0.0
+            ),
+            attacked_victim_upfront_revenue=attacked.upfront_revenue.get(
+                victim, 0.0
+            ),
         )

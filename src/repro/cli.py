@@ -327,6 +327,37 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     if args.hold_time is not None:
         attack_params["hold_time"] = args.hold_time
 
+    if args.countermeasures:
+        from .analysis.countermeasures import (
+            TABLE_COLUMNS as COUNTERMEASURE_COLUMNS,
+            countermeasure_table,
+        )
+
+        rows = countermeasure_table(
+            args.upfront_rates,
+            budget=args.budget,
+            strategy=args.strategy,
+            size=args.size,
+            balance=args.balance,
+            horizon=args.horizon,
+            seed=args.seed,
+            zipf_s=args.zipf_s,
+            upfront_base=args.upfront_base,
+            backend=args.backend,
+            attack_params={
+                k: v for k, v in attack_params.items() if k != "budget"
+            },
+            executor=args.executor,
+            max_workers=args.workers,
+            cache=args.cache,
+        )
+        print(format_table(
+            rows,
+            columns=list(COUNTERMEASURE_COLUMNS),
+            title=f"jamming countermeasures vs {args.strategy}",
+        ))
+        return 0
+
     if args.compare:
         budgets = args.budgets if args.budgets else [args.budget]
         rows = resilience_table(
@@ -363,6 +394,14 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         seed=args.seed,
         zipf_s=args.zipf_s,
     )
+    scenario = scenario.with_overrides(
+        {"simulation.backend": args.backend}
+    )
+    if args.fee_policy == "upfront":
+        scenario = scenario.with_overrides({
+            "fee.upfront_base": args.upfront_base,
+            "fee.upfront_rate": args.upfront_rates[0],
+        })
     result = ScenarioRunner().run(scenario)
     report = result.attack
     print(report.summary())
@@ -696,9 +735,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_atk.add_argument("--seed", type=int, default=7)
     p_atk.add_argument("--zipf-s", dest="zipf_s", type=float, default=1.0)
     p_atk.add_argument(
+        "--backend", choices=["event", "batched"], default="event",
+        help="simulation engine; both produce bit-identical reports, "
+        "batched is the fast path",
+    )
+    p_atk.add_argument(
+        "--fee-policy", dest="fee_policy",
+        choices=["success-only", "upfront"], default="success-only",
+        help="two-sided fee policy: 'upfront' additionally charges "
+        "--upfront-base + --upfront-rate * amount per placed hop on "
+        "every attempt, settle or not",
+    )
+    p_atk.add_argument(
+        "--upfront-base", dest="upfront_base", type=float, default=0.0,
+        help="flat per-attempt charge of the upfront policy",
+    )
+    p_atk.add_argument(
+        "--upfront-rate", dest="upfront_rates", type=float, nargs="+",
+        default=[0.05], metavar="RATE",
+        help="proportional per-attempt rate(s): the first applies to a "
+        "single '--fee-policy upfront' run; all of them (strictly "
+        "increasing) form the --countermeasures sweep axis",
+    )
+    p_atk.add_argument(
         "--compare", action="store_true",
         help="sweep the budget over star/path/circle equilibria and print "
         "the resilience table instead of a single report",
+    )
+    p_atk.add_argument(
+        "--countermeasures", action="store_true",
+        help="sweep success-only vs upfront fee policies (--upfront-rate "
+        "values) over star/path/circle equilibria and print attacker "
+        "cost/ROI per policy",
+    )
+    p_atk.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="content-addressed result store for --countermeasures "
+        "(repeated sweeps re-execute only changed grid points)",
     )
     p_atk.add_argument(
         "--budgets", type=float, nargs="+", default=None,

@@ -8,7 +8,7 @@ serial==process sweep equality, content-addressable runs):
 RPR001    no unseeded / global-state randomness in library code
 RPR002    ``GraphView`` CSR arrays are written only by ``network/views.py``
 RPR003    spec/report/trajectory dataclasses are frozen and JSON-typed
-RPR004    no calls to deprecated APIs (``to_undirected`` / ``to_directed``)
+RPR004    no calls to deprecated APIs (``register_deprecation`` registry)
 RPR005    no wall-clock reads in library code (benchmarks exempt)
 RPR006    plugin registrations are import-time, string-literal-keyed
 RPR007    no mutable default arguments or module-level mutable singletons
@@ -319,17 +319,11 @@ class FrozenArtifactRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: Deprecated call names -> migration advice. Import-time extensible via
-#: :func:`register_deprecation`. A populated literal, never reassigned —
-#: the lint-time analogue of the plugin registries.
-_DEPRECATED_CALLS: Dict[str, str] = {
-    "to_undirected": (
-        "use `graph.view(directed=False, reduced=...).to_networkx()` "
-        "(cached, version-keyed)"
-    ),
-    "to_directed": "use `graph.view(directed=True).to_networkx()`",
-}
-#: Modules allowed to mention the deprecated names (the wrappers' home).
-_DEPRECATION_HOME = "network/graph.py"
+#: :func:`register_deprecation`; mutated in place, never reassigned — the
+#: lint-time analogue of the plugin registries. Empty since the
+#: ``to_undirected`` / ``to_directed`` deprecation cycle completed (the
+#: wrappers were removed outright); the next deprecation starts here.
+_DEPRECATED_CALLS: Dict[str, str] = {}
 
 
 def register_deprecation(name: str, advice: str) -> None:
@@ -342,15 +336,13 @@ class DeprecatedCallRule(Rule):
     rule_id = "RPR004"
     title = "deprecated-call"
     description = (
-        "Calls to APIs on the repo deprecation list (to_undirected, "
-        "to_directed, ... — extensible via register_deprecation). "
+        "Calls to APIs on the repo deprecation list (extensible via "
+        "register_deprecation; empty between deprecation cycles). "
         "Deprecated wrappers warn at runtime; library code must not "
         "trip its own deprecations."
     )
 
     def visit_Call(self, node: ast.Call) -> None:
-        if self.ctx.path.endswith(_DEPRECATION_HOME):
-            return
         func = node.func
         name = None
         if isinstance(func, ast.Attribute):

@@ -23,6 +23,7 @@ from .diameter import (
 )
 from .nash import (
     DynamicsMove,
+    DynamicsOutcome,
     DynamicsReport,
     NashReport,
     NodeBestResponse,
@@ -43,6 +44,7 @@ __all__ = [
     "CENTER",
     "Deviation",
     "DynamicsMove",
+    "DynamicsOutcome",
     "DynamicsReport",
     "HubPathAnalysis",
     "NashReport",

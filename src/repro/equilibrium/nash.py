@@ -25,6 +25,7 @@ from .node_utility import NetworkGameModel
 
 __all__ = [
     "DynamicsMove",
+    "DynamicsOutcome",
     "DynamicsReport",
     "NodeBestResponse",
     "NashReport",
@@ -163,8 +164,12 @@ class DynamicsMove:
 
 
 @dataclass(frozen=True, eq=False)
-class DynamicsReport:
+class DynamicsOutcome:
     """Outcome of one :func:`best_response_dynamics` run.
+
+    A process-local result *handle*, not a serialisable artifact — it
+    carries the live final :class:`ChannelGraph` (hence the name stays
+    off the ``*Report`` artifact namespace RPR003 polices).
 
     Iterable as the historical ``(final_graph, rounds, converged)``
     triple, so ``final, rounds, ok = best_response_dynamics(...)`` keeps
@@ -186,6 +191,10 @@ class DynamicsReport:
         return iter((self.graph, self.rounds, self.converged))
 
 
+#: Backwards-compatible alias for the pre-rename class name.
+DynamicsReport = DynamicsOutcome
+
+
 def best_response_dynamics(
     graph: ChannelGraph,
     model: NetworkGameModel,
@@ -194,10 +203,10 @@ def best_response_dynamics(
     tolerance: float = 1e-9,
     balance: float = 1.0,
     seed: Optional[int] = None,
-) -> DynamicsReport:
+) -> DynamicsOutcome:
     """Iterate best responses until no node improves (or ``max_rounds``).
 
-    Returns a :class:`DynamicsReport` (iterable as the historical
+    Returns a :class:`DynamicsOutcome` (iterable as the historical
     ``(final_graph, rounds_used, converged)`` triple). Each round sweeps
     nodes in canonical order and applies the first strictly improving best
     response found; NP-hardness of exact dynamics (Thm 2 of [19]) means
@@ -223,11 +232,11 @@ def best_response_dynamics(
                 ))
         rounds.append(tuple(round_moves))
         if not round_moves:
-            return DynamicsReport(
+            return DynamicsOutcome(
                 graph=current, rounds=round_index + 1, converged=True,
                 moves=tuple(rounds),
             )
-    return DynamicsReport(
+    return DynamicsOutcome(
         graph=current, rounds=max_rounds, converged=False,
         moves=tuple(rounds),
     )

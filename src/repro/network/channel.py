@@ -67,7 +67,7 @@ class Channel:
 
     __slots__ = (
         "u", "v", "_balances", "channel_id", "_history",
-        "fee_base", "fee_rate", "_on_mutate",
+        "fee_base", "fee_rate", "upfront_base", "upfront_rate", "_on_mutate",
         "max_accepted_htlcs", "_htlc_slots",
     )
 
@@ -81,6 +81,8 @@ class Channel:
         record_history: bool = False,
         fee_base: float = 0.0,
         fee_rate: float = 0.0,
+        upfront_base: float = 0.0,
+        upfront_rate: float = 0.0,
         max_accepted_htlcs: Optional[int] = DEFAULT_MAX_ACCEPTED_HTLCS,
     ) -> None:
         if u == v:
@@ -89,6 +91,10 @@ class Channel:
             raise InvalidParameter("channel balances must be non-negative")
         if fee_base < 0 or fee_rate < 0:
             raise InvalidParameter("channel fee params must be non-negative")
+        if upfront_base < 0 or upfront_rate < 0:
+            raise InvalidParameter(
+                "channel upfront fee params must be non-negative"
+            )
         if max_accepted_htlcs is not None and max_accepted_htlcs < 1:
             raise InvalidParameter(
                 f"max_accepted_htlcs must be >= 1 or None, "
@@ -106,6 +112,11 @@ class Channel:
         #: surfaced in GraphView's fee arrays. Zero = policy-free channel.
         self.fee_base = float(fee_base)
         self.fee_rate = float(fee_rate)
+        #: Per-channel upfront (per-attempt) fee side of the two-sided
+        #: policy; surfaced in GraphView's upfront arrays alongside the
+        #: success-side fee columns.
+        self.upfront_base = float(upfront_base)
+        self.upfront_rate = float(upfront_rate)
         # Balance-mutation callback installed by the owning ChannelGraph so
         # cached views are invalidated when payments move funds.
         self._on_mutate = None

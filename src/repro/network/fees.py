@@ -1,4 +1,4 @@
-"""Routing fee functions and the global average fee ``f_avg``.
+"""Routing fee functions, two-sided fee policies, and ``f_avg``.
 
 The paper abstracts all intermediaries' fee policies into one global fee
 function ``F : [0, T] -> R+`` and works with its average
@@ -10,12 +10,20 @@ This module provides the standard fee-function shapes (constant, the
 Lightning ``base + proportional`` linear form, and piecewise-linear) and the
 numeric integration that turns a fee function plus a size distribution into
 ``f_avg``.
+
+:class:`FeePolicy` generalises a fee function into a *two-sided* policy
+(the Unjamming countermeasure, Naumenko–Riard 2022): the **success** part
+is a plain :class:`FeeFunction` charged on settle (today's behaviour), the
+**upfront** part is a ``base + rate * amount`` charge collected per
+*attempt* — paid for every hop an HTLC actually reserves, success or not,
+and never refunded. Because jamming attacks are all attempts and no
+settles, a non-zero upfront part taxes the attacker directly.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 __all__ = [
     "FeeFunction",
+    "FeePolicy",
     "ConstantFee",
     "LinearFee",
     "PiecewiseLinearFee",
@@ -122,6 +131,77 @@ class PiecewiseLinearFee(FeeFunction):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         knots = list(zip(self._xs.tolist(), self._ys.tolist()))
         return f"PiecewiseLinearFee({knots})"
+
+
+class FeePolicy(FeeFunction):
+    """A two-sided fee: a success part plus an unconditional upfront part.
+
+    The policy *is* a :class:`FeeFunction` — calling it evaluates the
+    success part (0 when ``success`` is None) — so every consumer typed
+    against ``FeeFunction`` (routers, engines, ``average_fee``) accepts a
+    policy unchanged. The upfront side is only consulted by HTLC
+    accounting: each hop a lock attempt actually places charges the
+    receiving node ``upfront(hop_amount)`` from the sender, settle or not.
+
+    Args:
+        success: fee charged on settle, per hop (None = no success fee).
+        upfront_base: flat upfront charge per attempted hop.
+        upfront_rate: proportional upfront charge per attempted hop.
+    """
+
+    def __init__(
+        self,
+        success: Optional[FeeFunction] = None,
+        upfront_base: float = 0.0,
+        upfront_rate: float = 0.0,
+    ) -> None:
+        if upfront_base < 0 or upfront_rate < 0:
+            raise InvalidParameter(
+                "upfront_base and upfront_rate must be >= 0"
+            )
+        if success is not None and not isinstance(success, FeeFunction):
+            raise InvalidParameter(
+                f"success part must be a FeeFunction, "
+                f"got {type(success).__name__}"
+            )
+        self.success = success
+        self.upfront_base = float(upfront_base)
+        self.upfront_rate = float(upfront_rate)
+
+    @classmethod
+    def of(cls, fee: Optional[FeeFunction]) -> "FeePolicy":
+        """Normalise any fee into a policy (identity on policies)."""
+        if isinstance(fee, FeePolicy):
+            return fee
+        return cls(success=fee)
+
+    @property
+    def has_upfront(self) -> bool:
+        """Whether the upfront side charges anything at all."""
+        return self.upfront_base > 0.0 or self.upfront_rate > 0.0
+
+    def upfront(self, amount: float) -> float:
+        """Unconditional charge for *attempting* to forward ``amount``."""
+        if amount < 0:
+            raise InvalidParameter(f"amount must be >= 0, got {amount}")
+        return self.upfront_base + self.upfront_rate * amount
+
+    def __call__(self, amount: float) -> float:
+        if self.success is None:
+            return 0.0
+        return self.success(amount)
+
+    def vectorised(self, amounts: np.ndarray) -> np.ndarray:
+        if self.success is None:
+            return np.zeros_like(np.asarray(amounts, dtype=float))
+        return self.success.vectorised(amounts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FeePolicy(success={self.success!r}, "
+            f"upfront_base={self.upfront_base}, "
+            f"upfront_rate={self.upfront_rate})"
+        )
 
 
 def average_fee(

@@ -13,17 +13,13 @@ the rest of the library needs:
 Views are immutable CSR snapshots (:class:`~repro.network.views.GraphView`)
 produced by :meth:`ChannelGraph.view` and cached keyed on the graph's
 mutation version — every structural change *and* every balance movement
-bumps the version, so algorithms can never observe a stale snapshot. The
-legacy ``to_undirected()`` / ``to_directed()`` networkx materialisations
-remain as thin deprecated wrappers over ``view(...).to_networkx()``.
+bumps the version, so algorithms can never observe a stale snapshot. For
+a networkx materialisation call ``view(...).to_networkx()``.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
-
-import networkx as nx
 
 from ..errors import ChannelNotFound, DuplicateChannel, InvalidParameter, NodeNotFound
 from .channel import DEFAULT_MAX_ACCEPTED_HTLCS, Channel
@@ -77,6 +73,8 @@ class ChannelGraph:
         record_history: bool = False,
         fee_base: float = 0.0,
         fee_rate: float = 0.0,
+        upfront_base: float = 0.0,
+        upfront_rate: float = 0.0,
         max_accepted_htlcs: Optional[int] = DEFAULT_MAX_ACCEPTED_HTLCS,
     ) -> Channel:
         """Open a channel between ``u`` and ``v`` and return it.
@@ -88,6 +86,7 @@ class ChannelGraph:
             u, v, balance_u, balance_v, channel_id=channel_id,
             record_history=record_history,
             fee_base=fee_base, fee_rate=fee_rate,
+            upfront_base=upfront_base, upfront_rate=upfront_rate,
             max_accepted_htlcs=max_accepted_htlcs,
         )
         if channel.channel_id in self._channels:
@@ -103,6 +102,7 @@ class ChannelGraph:
                     u, v, balance_u, balance_v,
                     record_history=record_history,
                     fee_base=fee_base, fee_rate=fee_rate,
+                    upfront_base=upfront_base, upfront_rate=upfront_rate,
                     max_accepted_htlcs=max_accepted_htlcs,
                 )
         self.add_node(u)
@@ -152,6 +152,8 @@ class ChannelGraph:
                 record_history=channel._history is not None,
                 fee_base=channel.fee_base,
                 fee_rate=channel.fee_rate,
+                upfront_base=channel.upfront_base,
+                upfront_rate=channel.upfront_rate,
                 max_accepted_htlcs=channel.max_accepted_htlcs,
             )
         return clone
@@ -293,43 +295,6 @@ class ChannelGraph:
         snapshot = build_view(self, directed, reduced)
         self._views[key] = (self._version, snapshot)
         return snapshot
-
-    # -- deprecated networkx materialisations --------------------------------
-
-    def to_undirected(self) -> nx.Graph:
-        """Deprecated: use ``view(directed=False).to_networkx()``.
-
-        Simple undirected unit-weight view (parallel channels collapsed,
-        ``capacity`` edge attribute).
-        """
-        warnings.warn(
-            "ChannelGraph.to_undirected() is deprecated; use "
-            "view(directed=False) (or .to_networkx() on it for a "
-            "networkx graph)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.view(directed=False).to_networkx()
-
-    def to_directed(self, min_balance: float = 0.0) -> nx.DiGraph:
-        """Deprecated: use ``view(directed=True, reduced=...)``.
-
-        Directed view with aggregated per-direction balances (``balance``
-        edge attribute); ``min_balance`` gives the reduced subgraph ``G'``.
-        """
-        warnings.warn(
-            "ChannelGraph.to_directed() is deprecated; use "
-            "view(directed=True, reduced=min_balance) (or .to_networkx() "
-            "on it for a networkx graph)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        materialised = self.view(directed=True, reduced=min_balance).to_networkx()
-        if min_balance > 0.0:
-            # Historically a fresh graph per call that callers could
-            # mutate freely; don't hand out the view's shared cache.
-            return materialised.copy()
-        return materialised
 
     # -- convenience constructors -------------------------------------------
 

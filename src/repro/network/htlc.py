@@ -24,7 +24,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import HtlcError, RoutingError
 from .channel import Channel
-from .fees import ConstantFee, FeeFunction
+from .fees import ConstantFee, FeeFunction, FeePolicy
 from .graph import ChannelGraph
 
 __all__ = ["HtlcError", "HtlcState", "Htlc", "HtlcPayment", "HtlcRouter"]
@@ -58,6 +58,11 @@ class HtlcPayment:
     ``"no-balance"`` (no channel on some hop could fund the amount) or
     ``"no-slots"`` (a channel had the balance but every HTLC slot in the
     needed direction was occupied — the jammed case).
+
+    ``upfront_fees_per_node`` records the per-attempt side of a
+    two-sided :class:`~repro.network.fees.FeePolicy`: each hop actually
+    offered credits its receiving node, settle or not, and the unwind
+    never refunds it. Empty under a success-only fee.
     """
 
     payment_id: int
@@ -67,6 +72,7 @@ class HtlcPayment:
     hops: List[Htlc] = field(default_factory=list)
     fees_per_node: Dict[Hashable, float] = field(default_factory=dict)
     failure_reason: str = ""
+    upfront_fees_per_node: Dict[Hashable, float] = field(default_factory=dict)
 
     @property
     def sender(self) -> Hashable:
@@ -79,6 +85,11 @@ class HtlcPayment:
     @property
     def total_locked(self) -> float:
         return sum(h.amount for h in self.hops)
+
+    @property
+    def upfront_total(self) -> float:
+        """All upfront fees the sender owes for this attempt."""
+        return sum(self.upfront_fees_per_node.values())
 
 
 class HtlcRouter:
@@ -107,9 +118,24 @@ class HtlcRouter:
             raise HtlcError("expiry parameters must be positive")
         self.graph = graph
         self.fee = fee if fee is not None else ConstantFee(0.0)
+        # The two-sided view of the fee: ``policy.upfront`` prices the
+        # per-attempt side (zero for plain FeeFunctions, so success-only
+        # fees behave exactly as before).
+        self.policy = FeePolicy.of(self.fee)
         self.base_expiry = base_expiry
         self.expiry_delta = expiry_delta
         self._in_flight: Dict[int, HtlcPayment] = {}
+        # (hops, amount) -> hop amounts. Attack strategies re-price the
+        # same route shape with the same amount on every attempt, so the
+        # fee recursion memoises; bounded so a continuous honest-amount
+        # distribution cannot grow it without limit.
+        self._hop_amounts_cache: Dict[Tuple[int, float], Tuple[float, ...]] = {}
+        # Running sum of in-flight locked amounts, maintained incrementally
+        # so locked_capital() is O(1) under jamming-scale in-flight sets.
+        # The batched engine's router mirrors these updates operation for
+        # operation, keeping the two backends' metrics bit-identical.
+        self._locked_totals: Dict[int, float] = {}
+        self._locked_total = 0.0
 
     # -- helpers -------------------------------------------------------------
 
@@ -119,10 +145,20 @@ class HtlcRouter:
         Public so extensions (e.g. attack strategies sizing their capital
         commitments) can price a route the same way ``lock`` will.
         """
+        return list(self._hop_amounts(hops, amount))
+
+    def _hop_amounts(self, hops: int, amount: float) -> Tuple[float, ...]:
+        cached = self._hop_amounts_cache.get((hops, amount))
+        if cached is not None:
+            return cached
         amounts = [amount]
         for _ in range(hops - 1):
             amounts.insert(0, amounts[0] + self.fee(amounts[0]))
-        return amounts
+        if len(self._hop_amounts_cache) >= 4096:
+            self._hop_amounts_cache.clear()
+        result = tuple(amounts)
+        self._hop_amounts_cache[(hops, amount)] = result
+        return result
 
     def _pick_channel(
         self, src: Hashable, dst: Hashable, amount: float
@@ -161,7 +197,7 @@ class HtlcRouter:
         if amount <= 0:
             raise HtlcError(f"amount must be > 0, got {amount}")
         hops = len(path) - 1
-        hop_amounts = self.hop_amounts(hops, amount)
+        hop_amounts = self._hop_amounts(hops, amount)
         payment = HtlcPayment(
             payment_id=next(_payment_ids),
             path=tuple(path),
@@ -181,12 +217,25 @@ class HtlcRouter:
             # one of the direction's slots until resolution.
             channel.withdraw(src, hop_amount)
             channel.open_htlc(src)
+            if self.policy.has_upfront:
+                # The upfront side is unconditional: a hop that was
+                # actually offered pays its receiver even if a later hop
+                # fails, and the unwind never refunds it. The charge is
+                # ledger-only (no channel balance moves), so liquidity
+                # and slot dynamics are independent of the upfront rate.
+                payment.upfront_fees_per_node[dst] = (
+                    payment.upfront_fees_per_node.get(dst, 0.0)
+                    + self.policy.upfront(hop_amount)
+                )
             payment.hops.append(
                 Htlc(channel=channel, sender=src, amount=hop_amount,
                      expiry=expiry)
             )
             expiry -= self.expiry_delta
         self._in_flight[payment.payment_id] = payment
+        locked = payment.total_locked
+        self._locked_totals[payment.payment_id] = locked
+        self._locked_total += locked
         return payment
 
     def settle(self, payment: HtlcPayment) -> None:
@@ -209,14 +258,14 @@ class HtlcRouter:
                 payment.fees_per_node.get(node, 0.0) + inbound - outbound
             )
         payment.state = HtlcState.SETTLED
-        self._in_flight.pop(payment.payment_id, None)
+        self._drop_in_flight(payment)
 
     def fail(self, payment: HtlcPayment) -> None:
         """Phase 2b: unwind every reservation; balances fully restored."""
         self._require_pending(payment)
         self._unwind(payment)
         payment.state = HtlcState.FAILED
-        self._in_flight.pop(payment.payment_id, None)
+        self._drop_in_flight(payment)
 
     def expire(self, payment: HtlcPayment, height: int) -> bool:
         """Cancel a pending payment whose first hop has timed out.
@@ -252,10 +301,19 @@ class HtlcRouter:
                 "not pending"
             )
 
+    def _drop_in_flight(self, payment: HtlcPayment) -> None:
+        if self._in_flight.pop(payment.payment_id, None) is None:
+            return
+        self._locked_total -= self._locked_totals.pop(payment.payment_id, 0.0)
+        if not self._in_flight:
+            # Re-anchor: with nothing in flight the total is exactly zero;
+            # shed any rounding the incremental +/- accumulated.
+            self._locked_total = 0.0
+
     @property
     def in_flight(self) -> Tuple[HtlcPayment, ...]:
         return tuple(self._in_flight.values())
 
     def locked_capital(self) -> float:
         """Total coins currently reserved by pending payments."""
-        return sum(p.total_locked for p in self._in_flight.values())
+        return self._locked_total

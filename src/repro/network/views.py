@@ -81,6 +81,10 @@ class GraphView:
         fee_base / fee_rate: ``float64[m]`` the entry's cheapest
             per-channel fee policy, judged at unit amount (zero unless
             channels carry explicit fee params).
+        upfront_base / upfront_rate: ``float64[m]`` the per-attempt
+            (upfront) side of the same winning channel's two-sided fee
+            policy — carried alongside the success-side columns, never
+            mixed across channels of one pair.
         directed: whether entries are per-direction (True) or the
             symmetric undirected adjacency (False).
         min_balance: the reduced-subgraph threshold the view was built
@@ -99,6 +103,8 @@ class GraphView:
         "capacities",
         "fee_base",
         "fee_rate",
+        "upfront_base",
+        "upfront_rate",
         "directed",
         "min_balance",
         "version",
@@ -119,6 +125,8 @@ class GraphView:
         capacities: np.ndarray,
         fee_base: np.ndarray,
         fee_rate: np.ndarray,
+        upfront_base: np.ndarray,
+        upfront_rate: np.ndarray,
         directed: bool,
         min_balance: float,
         version: int,
@@ -131,7 +139,7 @@ class GraphView:
             else {node: i for i, node in enumerate(nodes)}
         )
         for array in (indptr, indices, edge_ids, balances, capacities,
-                      fee_base, fee_rate):
+                      fee_base, fee_rate, upfront_base, upfront_rate):
             array.setflags(write=False)
         self.indptr = indptr
         self.indices = indices
@@ -141,6 +149,8 @@ class GraphView:
         self.capacities = capacities
         self.fee_base = fee_base
         self.fee_rate = fee_rate
+        self.upfront_base = upfront_base
+        self.upfront_rate = upfront_rate
         self.directed = directed
         self.min_balance = min_balance
         self.version = version
@@ -316,6 +326,7 @@ def build_view(
     pair_capacity: List[float] = []
     pair_balance: List[Tuple[float, float]] = []  # (lo -> hi, hi -> lo)
     pair_fees: List[Tuple[float, float]] = []
+    pair_upfront: List[Tuple[float, float]] = []
     for channel in graph.channels:
         u, v = node_index[channel.u], node_index[channel.v]
         lo, hi = (u, v) if u < v else (v, u)
@@ -324,12 +335,15 @@ def build_view(
         balance_hi = channel.balance(nodes[hi])
         fee_base = getattr(channel, "fee_base", 0.0)
         fee_rate = getattr(channel, "fee_rate", 0.0)
+        upfront_base = getattr(channel, "upfront_base", 0.0)
+        upfront_rate = getattr(channel, "upfront_rate", 0.0)
         if slot is None:
             pair_slot[(lo, hi)] = len(pair_ids)
             pair_ids.append([channel.channel_id])
             pair_capacity.append(channel.capacity)
             pair_balance.append((balance_lo, balance_hi))
             pair_fees.append((fee_base, fee_rate))
+            pair_upfront.append((upfront_base, upfront_rate))
         else:
             pair_ids[slot].append(channel.channel_id)
             pair_capacity[slot] += channel.capacity
@@ -337,10 +351,12 @@ def build_view(
             pair_balance[slot] = (old_lo + balance_lo, old_hi + balance_hi)
             # Keep the whole policy of the channel that is cheapest for a
             # unit payment (a component-wise min would synthesize a policy
-            # no channel actually offers).
+            # no channel actually offers). The upfront side travels with
+            # the winning channel, never mixed across channels.
             old_base, old_rate = pair_fees[slot]
             if fee_base + fee_rate < old_base + old_rate:
                 pair_fees[slot] = (fee_base, fee_rate)
+                pair_upfront[slot] = (upfront_base, upfront_rate)
 
     # Expand slots into directed entries (both orientations), filtering
     # reduced-out directions, then sort into CSR order.
@@ -380,14 +396,19 @@ def build_view(
 
     capacity_table = np.asarray(pair_capacity, dtype=np.float64)
     fee_table = np.asarray(pair_fees, dtype=np.float64).reshape(-1, 2)
+    upfront_table = np.asarray(pair_upfront, dtype=np.float64).reshape(-1, 2)
     if slot_arr.size:
         capacities = capacity_table[slot_arr]
         fee_base = fee_table[slot_arr, 0]
         fee_rate = fee_table[slot_arr, 1]
+        upfront_base = upfront_table[slot_arr, 0]
+        upfront_rate = upfront_table[slot_arr, 1]
     else:
         capacities = np.zeros(0, dtype=np.float64)
         fee_base = np.zeros(0, dtype=np.float64)
         fee_rate = np.zeros(0, dtype=np.float64)
+        upfront_base = np.zeros(0, dtype=np.float64)
+        upfront_rate = np.zeros(0, dtype=np.float64)
 
     return GraphView(
         nodes=nodes,
@@ -399,6 +420,8 @@ def build_view(
         capacities=capacities,
         fee_base=fee_base,
         fee_rate=fee_rate,
+        upfront_base=upfront_base,
+        upfront_rate=upfront_rate,
         directed=directed,
         min_balance=float(min_balance),
         version=graph.version,

@@ -1,0 +1,112 @@
+"""Backend capability negotiation: engines declare, specs validate.
+
+Historically every place that cared about a backend's limits hard-coded
+its name: ``SimulationSpec`` rejected ``backend="batched"`` with
+``payment_mode="htlc"``, the attack runner demanded ``backend="event"``,
+and the sharding runner special-cased the stream RNG. Each new backend
+(or newly-grown feature of an existing one) then required editing every
+check site.
+
+This module inverts that: each engine *declares* an
+:class:`EngineCapabilities` record, and validators consult the record
+instead of the name. Adding a backend means registering one declaration;
+growing a feature means flipping one flag next to the code that
+implements it.
+
+The declarations live here (a dependency leaf importable by the spec
+layer) rather than on the engine classes themselves so that validating a
+spec never imports numpy-heavy simulation modules; the engines re-export
+their own record via a ``capabilities()`` classmethod for
+introspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ScenarioError
+
+__all__ = [
+    "BACKEND_CAPABILITIES",
+    "BATCHED_CAPABILITIES",
+    "EVENT_CAPABILITIES",
+    "EngineCapabilities",
+    "backend_capabilities",
+]
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What one simulation backend can do.
+
+    Attributes:
+        backend: the backend's registry name (``SimulationSpec.backend``).
+        payment_modes: supported ``SimulationSpec.payment_mode`` values.
+        event_injection: whether external events (attack strategies,
+            scheduled HTLC resolves) can be pushed into the engine's
+            queue mid-run — required by attack stages.
+        mid_run_topology: whether channel open/close events may mutate
+            the graph while the engine is running.
+        record_history: whether per-channel payment history recording is
+            honoured during a run.
+        parallel_channels: whether multigraph topologies (parallel
+            channels between one node pair) are supported.
+        stream_rng_shard_safe: whether ``route_rng="stream"`` results
+            are invariant under trace sharding (no backend currently
+            offers this; sharding requires payment-local RNG instead).
+    """
+
+    backend: str
+    payment_modes: Tuple[str, ...]
+    event_injection: bool = False
+    mid_run_topology: bool = False
+    record_history: bool = False
+    parallel_channels: bool = False
+    stream_rng_shard_safe: bool = False
+
+    def supports_payment_mode(self, mode: str) -> bool:
+        """Whether ``mode`` is one of the declared payment modes."""
+        return mode in self.payment_modes
+
+
+#: The discrete-event loop: the reference backend, everything goes.
+EVENT_CAPABILITIES = EngineCapabilities(
+    backend="event",
+    payment_modes=("instant", "htlc"),
+    event_injection=True,
+    mid_run_topology=True,
+    record_history=True,
+    parallel_channels=True,
+)
+
+#: The vectorised fast path: array state frozen at run start, so no
+#: mid-run topology changes, no history hooks, no parallel channels —
+#: but both payment modes and (since the slot-aware HTLC adapter)
+#: event injection for attack strategies.
+BATCHED_CAPABILITIES = EngineCapabilities(
+    backend="batched",
+    payment_modes=("instant", "htlc"),
+    event_injection=True,
+)
+
+#: Registry consulted by spec validation; new backends add a row here.
+BACKEND_CAPABILITIES: Dict[str, EngineCapabilities] = {
+    caps.backend: caps
+    for caps in (EVENT_CAPABILITIES, BATCHED_CAPABILITIES)
+}
+
+
+def backend_capabilities(backend: str) -> EngineCapabilities:
+    """The declared capabilities of ``backend``.
+
+    Raises:
+        ScenarioError: when no backend of that name is registered.
+    """
+    try:
+        return BACKEND_CAPABILITIES[backend]
+    except KeyError:
+        known = sorted(BACKEND_CAPABILITIES)
+        raise ScenarioError(
+            f"unknown simulation backend {backend!r} (known: {known})"
+        ) from None

@@ -114,18 +114,33 @@ def build_workload(scenario: Scenario, graph: ChannelGraph) -> Any:
 
 
 def build_fee(scenario: Scenario) -> Optional[Any]:
-    """Resolve the scenario's fee function (``None`` when unspecified)."""
+    """Resolve the scenario's fee function (``None`` when unspecified).
+
+    A spec with an upfront side (``upfront_base`` / ``upfront_rate`` > 0)
+    resolves to a two-sided :class:`~repro.network.fees.FeePolicy`
+    wrapping the success-fee builder's result; a success-only spec
+    returns the bare fee function, exactly as before schema v2.
+    """
     if scenario.fee is None:
         return None
     _ensure_providers()
     fee_builder = FEES.get(scenario.fee.kind)
     try:
-        return fee_builder(**scenario.fee.params)
+        success = fee_builder(**scenario.fee.params)
     except TypeError as exc:
         raise ScenarioError(
             f"fee {scenario.fee.kind!r} rejected params "
             f"{scenario.fee.params!r}: {exc}"
         ) from exc
+    if scenario.fee.has_upfront:
+        from ..network.fees import FeePolicy
+
+        return FeePolicy(
+            success=success,
+            upfront_base=scenario.fee.upfront_base,
+            upfront_rate=scenario.fee.upfront_rate,
+        )
+    return success
 
 
 def build_growth(spec: GrowthSpec) -> Any:
@@ -196,6 +211,7 @@ def build_batched_engine(
         path_selection=sim.path_selection,
         seed=scenario.seed,
         payment_mode=sim.payment_mode,
+        htlc_hold_mean=sim.htlc_hold_mean,
         route_rng=sim.route_rng,
     )
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional
 
 from ..errors import ScenarioError
+from .capabilities import backend_capabilities
 
 __all__ = [
     "AlgorithmSpec",
@@ -51,7 +52,13 @@ __all__ = [
 ]
 
 #: ``to_dict`` documents carry this so future layouts can be migrated.
-SCHEMA_VERSION = 1
+#: v2 added the two-sided fee fields (``FeeSpec.upfront_base`` /
+#: ``upfront_rate``); v1 documents migrate automatically (both default
+#: to 0.0, reproducing the success-only behaviour bit for bit).
+SCHEMA_VERSION = 2
+
+#: Document versions :meth:`Scenario.from_dict` accepts.
+_READABLE_SCHEMA_VERSIONS = (1, 2)
 
 
 def _jsonify(value: Any, what: str) -> Any:
@@ -137,8 +144,65 @@ class FeeSpec(_PluginSpec):
 
     Builtin kinds: ``"constant"`` (params: ``fee``), ``"linear"``
     (params: ``base``, ``rate``), ``"piecewise"`` (params: ``knots`` as a
-    list of ``[amount, fee]`` pairs).
+    list of ``[amount, fee]`` pairs). ``kind``/``params`` describe the
+    *success* side of the fee, charged when a payment settles.
+
+    Attributes:
+        upfront_base: flat fee charged per *attempted* HTLC hop,
+            settle or not (the unjamming countermeasure). 0 disables it.
+        upfront_rate: proportional per-attempt fee on the hop amount.
+
+    A non-zero upfront side makes the factory build a two-sided
+    :class:`~repro.network.fees.FeePolicy` around the success fee.
+    Schema v1 documents carry neither field; both default to 0.0, which
+    reproduces the historical success-only behaviour exactly.
     """
+
+    upfront_base: float = 0.0
+    upfront_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("upfront_base", "upfront_rate"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ScenarioError(
+                    f"FeeSpec.{name} must be a number, got {value!r}"
+                )
+            if value < 0:
+                raise ScenarioError(
+                    f"FeeSpec.{name} must be >= 0, got {value}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = super().to_dict()
+        doc["upfront_base"] = self.upfront_base
+        doc["upfront_rate"] = self.upfront_rate
+        return doc
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "FeeSpec":
+        document = _require_mapping(document, cls.__name__)
+        unknown = set(document) - {
+            "kind", "params", "upfront_base", "upfront_rate",
+        }
+        if unknown:
+            raise ScenarioError(
+                f"unknown FeeSpec fields: {sorted(unknown)}"
+            )
+        if "kind" not in document:
+            raise ScenarioError("FeeSpec requires a 'kind' field")
+        return cls(
+            kind=document["kind"],
+            params=document.get("params", {}),
+            upfront_base=document.get("upfront_base", 0.0),
+            upfront_rate=document.get("upfront_rate", 0.0),
+        )
+
+    @property
+    def has_upfront(self) -> bool:
+        """Whether this spec describes a two-sided policy."""
+        return self.upfront_base > 0 or self.upfront_rate > 0
 
 
 @dataclass(frozen=True)
@@ -377,8 +441,10 @@ class SimulationSpec:
     execution engine: ``"event"`` is the discrete-event loop;
     ``"batched"`` is the vectorised fast path
     (:class:`~repro.simulation.fastpath.BatchedSimulationEngine`), which
-    produces the same metrics for the same seed but only supports
-    ``payment_mode="instant"``. ``route_rng`` picks how path-sampling
+    produces the same metrics for the same seed. What each backend
+    supports is declared in
+    :mod:`repro.scenarios.capabilities` and validated here rather than
+    hard-coded per name. ``route_rng`` picks how path-sampling
     randomness is derived: ``"stream"`` draws from one sequential RNG
     (the historical behaviour), ``"payment"`` derives an independent RNG
     per payment from ``(seed, payment index)``, which makes results
@@ -405,21 +471,17 @@ class SimulationSpec:
             raise ScenarioError(
                 f"SimulationSpec.horizon must be > 0, got {self.horizon}"
             )
-        if self.backend not in ("event", "batched"):
-            raise ScenarioError(
-                f"SimulationSpec.backend must be 'event' or 'batched', "
-                f"got {self.backend!r}"
-            )
+        capabilities = backend_capabilities(self.backend)
         if self.route_rng not in ("stream", "payment"):
             raise ScenarioError(
                 f"SimulationSpec.route_rng must be 'stream' or 'payment', "
                 f"got {self.route_rng!r}"
             )
-        if self.backend == "batched" and self.payment_mode != "instant":
+        if not capabilities.supports_payment_mode(self.payment_mode):
             raise ScenarioError(
-                "the batched backend supports payment_mode='instant' only; "
-                "HTLC hold semantics need the event queue "
-                "(backend='event')"
+                f"backend {self.backend!r} does not support "
+                f"payment_mode={self.payment_mode!r} "
+                f"(declared: {list(capabilities.payment_modes)})"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -486,11 +548,12 @@ class Scenario:
                     "an attack stage requires a simulation stage (the "
                     "honest workload the attacker disrupts)"
                 )
-            if self.simulation.backend != "event":
+            if not backend_capabilities(self.simulation.backend).event_injection:
                 raise ScenarioError(
-                    "attack stages require simulation backend='event': "
-                    "strategies inject events into the shared queue, which "
-                    "the batched backend does not have"
+                    f"attack stages need a backend with event injection "
+                    f"(strategies push events into the engine's queue); "
+                    f"backend {self.simulation.backend!r} does not "
+                    f"declare it"
                 )
             if self.algorithm is not None:
                 raise ScenarioError(
@@ -553,10 +616,11 @@ class Scenario:
         if unknown:
             raise ScenarioError(f"unknown Scenario fields: {sorted(unknown)}")
         version = document.get("schema_version", SCHEMA_VERSION)
-        if version != SCHEMA_VERSION:
+        if version not in _READABLE_SCHEMA_VERSIONS:
             raise ScenarioError(
                 f"unsupported scenario schema_version {version!r} "
-                f"(this library reads version {SCHEMA_VERSION})"
+                f"(this library reads versions "
+                f"{list(_READABLE_SCHEMA_VERSIONS)})"
             )
         if "topology" not in document:
             raise ScenarioError("Scenario requires a 'topology' section")

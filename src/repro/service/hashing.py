@@ -43,7 +43,8 @@ __all__ = [
 #: Version of the serialised result artifacts (``ScenarioResult`` /
 #: ``Trajectory`` / ``AttackReport`` documents). Bump when their layout
 #: changes: the hash salt below then invalidates every store entry.
-ARTIFACT_SCHEMA_VERSION = 1
+#: v2: upfront-fee revenue fields in SimulationMetrics / AttackReport.
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Every digest starts with this, so spec- or artifact-schema bumps
 #: cleanly retire all previously stored results.

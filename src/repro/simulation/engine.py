@@ -117,6 +117,15 @@ class SimulationEngine:
         balances."""
         return self._htlc_router
 
+    @classmethod
+    def capabilities(cls):
+        """This backend's :class:`EngineCapabilities` declaration."""
+        # Local import: the scenarios package pulls in the factory (and
+        # through it this module), so the leaf is resolved lazily.
+        from ..scenarios.capabilities import EVENT_CAPABILITIES
+
+        return EVENT_CAPABILITIES
+
     # -- scheduling -----------------------------------------------------------
 
     def schedule(self, event: Event) -> None:
@@ -262,6 +271,21 @@ class SimulationEngine:
             metrics.revenue[node] += fee
         for src, dst in zip(route.nodes, route.nodes[1:]):
             metrics.edge_traffic[(src, dst)] += 1
+        policy = self._htlc_router.policy
+        if policy.has_upfront:
+            # Instant mode has no lock phase, so the per-attempt side of
+            # the two-sided policy is charged on the payments that
+            # actually execute — one charge per hop, credited to the
+            # hop's receiving node.
+            hop_amounts = self.router._hop_amounts(
+                len(route.nodes) - 1, event.amount
+            )
+            total = 0.0
+            for i, node in enumerate(route.nodes[1:]):
+                charge = policy.upfront(hop_amounts[i])
+                metrics.upfront_revenue[node] += charge
+                total += charge
+            metrics.upfront_fees_paid[event.sender] += total
 
 
     def _handle_payment_htlc(self, event: PaymentEvent) -> None:
@@ -278,6 +302,7 @@ class SimulationEngine:
             metrics.failure_reasons[_classify_failure(str(exc))] += 1
             return
         payment = self._htlc_router.lock(route.nodes, event.amount)
+        self._book_upfront_attempt(payment, event.sender)
         if payment.state is not HtlcState.PENDING:
             metrics.failed += 1
             reason = (
@@ -315,6 +340,21 @@ class SimulationEngine:
             metrics.revenue[node] += fee
         for src, dst in zip(payment.path, payment.path[1:]):
             metrics.edge_traffic[(src, dst)] += 1
+
+    def _book_upfront_attempt(self, payment, sender) -> None:
+        """Book the unconditional per-attempt fees of one lock attempt.
+
+        The hops actually offered pay their receiving nodes whether or
+        not the payment later settles (and even when a later hop failed
+        the lock) — the jamming countermeasure: a failed or jamming
+        attempt is no longer free.
+        """
+        if not payment.upfront_fees_per_node:
+            return
+        metrics = self.metrics
+        metrics.upfront_fees_paid[sender] += payment.upfront_total
+        for node, fee in payment.upfront_fees_per_node.items():
+            metrics.upfront_revenue[node] += fee
 
 
 def _classify_failure(reason: str) -> str:

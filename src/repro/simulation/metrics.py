@@ -11,7 +11,9 @@ __all__ = ["SimulationMetrics"]
 Edge = Tuple[Hashable, Hashable]
 
 #: Version stamp of the ``to_dict`` document layout.
-METRICS_SCHEMA_VERSION = 1
+#: v2 added the upfront-fee tallies (``upfront_revenue`` /
+#: ``upfront_fees_paid``).
+METRICS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -23,6 +25,12 @@ class SimulationMetrics:
         volume_delivered: sum of successfully delivered amounts.
         revenue: routing fees earned per node (as intermediary).
         fees_paid: routing fees paid per node (as sender).
+        upfront_revenue: per-attempt upfront fees earned per node under
+            a two-sided :class:`~repro.network.fees.FeePolicy` (empty
+            under success-only fees).
+        upfront_fees_paid: upfront fees paid per node (as sender),
+            charged per attempted hop whether or not the payment
+            settled.
         sent / received: successful payment counts per node.
         edge_traffic: number of successful traversals per directed edge.
         failure_reasons: failure-description -> count.
@@ -42,6 +50,12 @@ class SimulationMetrics:
         default_factory=lambda: defaultdict(float)
     )
     fees_paid: Dict[Hashable, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    upfront_revenue: Dict[Hashable, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    upfront_fees_paid: Dict[Hashable, float] = field(
         default_factory=lambda: defaultdict(float)
     )
     sent: Dict[Hashable, int] = field(default_factory=lambda: defaultdict(int))
@@ -101,6 +115,10 @@ class SimulationMetrics:
                 out.revenue[node] += value
             for node, value in metrics.fees_paid.items():
                 out.fees_paid[node] += value
+            for node, value in metrics.upfront_revenue.items():
+                out.upfront_revenue[node] += value
+            for node, value in metrics.upfront_fees_paid.items():
+                out.upfront_fees_paid[node] += value
             for node, count in metrics.sent.items():
                 out.sent[node] += count
             for node, count in metrics.received.items():
@@ -135,6 +153,8 @@ class SimulationMetrics:
             "volume_delivered": self.volume_delivered,
             "revenue": _pairs(self.revenue),
             "fees_paid": _pairs(self.fees_paid),
+            "upfront_revenue": _pairs(self.upfront_revenue),
+            "upfront_fees_paid": _pairs(self.upfront_fees_paid),
             "sent": _pairs(self.sent),
             "received": _pairs(self.received),
             "edge_traffic": [
@@ -169,7 +189,10 @@ class SimulationMetrics:
             htlc_locked_peak=document.get("htlc_locked_peak", 0.0),
             seed=document.get("seed"),
         )
-        for name in ("revenue", "fees_paid", "sent", "received"):
+        for name in (
+            "revenue", "fees_paid", "upfront_revenue", "upfront_fees_paid",
+            "sent", "received",
+        ):
             table = getattr(metrics, name)
             for node, value in document.get(name, []):
                 table[node] = value

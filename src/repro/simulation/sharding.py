@@ -76,6 +76,8 @@ def _graph_payload(graph: ChannelGraph) -> Dict[str, Any]:
                 channel.channel_id,
                 channel.fee_base,
                 channel.fee_rate,
+                channel.upfront_base,
+                channel.upfront_rate,
                 channel.max_accepted_htlcs,
             )
             for channel in graph.channels
@@ -88,10 +90,11 @@ def _graph_from_payload(payload: Dict[str, Any]) -> ChannelGraph:
     for node in payload["nodes"]:
         graph.add_node(node)
     for (u, v, balance_u, balance_v, channel_id, fee_base, fee_rate,
-         max_accepted_htlcs) in payload["channels"]:
+         upfront_base, upfront_rate, max_accepted_htlcs) in payload["channels"]:
         graph.add_channel(
             u, v, balance_u, balance_v, channel_id=channel_id,
             fee_base=fee_base, fee_rate=fee_rate,
+            upfront_base=upfront_base, upfront_rate=upfront_rate,
             max_accepted_htlcs=max_accepted_htlcs,
         )
     return graph
@@ -178,17 +181,20 @@ class ShardedTraceRunner:
                 trace.to_transactions(), view.nodes
             )
         groups = self._partition(graph, view.nodes, trace)
-        if (
-            len(groups) > 1
-            and path_selection == "random"
-            and route_rng != "payment"
-        ):
-            raise SimulationError(
-                "sharded execution with path_selection='random' needs "
-                "route_rng='payment': the sequential stream RNG entangles "
-                "payments across shards, so splitting it would change "
-                "results"
-            )
+        if len(groups) > 1 and path_selection == "random":
+            # Local import (matches the evaluate_grid import below): the
+            # scenarios package sits above the simulation modules.
+            from ..scenarios.capabilities import backend_capabilities
+
+            capabilities = backend_capabilities(self.backend)
+            if route_rng != "payment" and not capabilities.stream_rng_shard_safe:
+                raise SimulationError(
+                    "sharded execution with path_selection='random' needs "
+                    "route_rng='payment': the sequential stream RNG "
+                    "entangles payments across shards (no backend declares "
+                    "stream_rng_shard_safe), so splitting it would change "
+                    "results"
+                )
         engine_kwargs = {
             "fee": fee,
             "fee_forwarding": fee_forwarding,

@@ -1,0 +1,19 @@
+"""Devtools test fixtures: a registered deprecation for RPR004.
+
+The builtin deprecation list is empty between deprecation cycles (the
+``to_undirected`` / ``to_directed`` cycle completed and the wrappers are
+gone), so the RPR004 fixtures exercise the extension path instead: the
+names below are registered exactly as a library module would register
+its own deprecations at import time.
+"""
+
+from repro.devtools.rules import register_deprecation
+
+register_deprecation(
+    "legacy_undirected",
+    "use `graph.view(directed=False).to_networkx()`",
+)
+register_deprecation(
+    "legacy_directed",
+    "use `graph.view(directed=True).to_networkx()`",
+)

@@ -1,7 +1,12 @@
-"""Fixture: both calls below trip RPR004 (deprecated API) only."""
+"""Fixture: both calls below trip RPR004 (deprecated API) only.
+
+``legacy_undirected`` / ``legacy_directed`` are registered on the
+deprecation list by the devtools conftest (the builtin list is empty
+between deprecation cycles).
+"""
 
 
 def materialise(graph):
-    undirected = graph.to_undirected()
-    directed = graph.to_directed()
+    undirected = graph.legacy_undirected()
+    directed = legacy_directed(graph)
     return undirected, directed

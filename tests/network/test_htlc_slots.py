@@ -12,6 +12,7 @@ import pytest
 from repro.errors import HtlcError as ErrorsHtlcError
 from repro.errors import InvalidParameter
 from repro.network.channel import DEFAULT_MAX_ACCEPTED_HTLCS, Channel
+from repro.network.fees import ConstantFee, FeePolicy
 from repro.network.graph import ChannelGraph
 from repro.network.htlc import HtlcError, HtlcRouter, HtlcState
 
@@ -127,6 +128,86 @@ class TestRouterSlotExhaustion:
         assert rejected.failure_reason == "no-slots"
         assert ab.balance("a") == before
         assert ab.htlc_slots_used("a") == 0
+
+
+class TestUpfrontCharges:
+    """The per-attempt side of a two-sided FeePolicy at the lock layer.
+
+    The unjamming countermeasure: every hop a lock actually places pays
+    ``policy.upfront(hop_amount)`` to its receiver — settle, fail, or
+    expire, the charge stands (and unwinding never refunds it). The
+    charge is ledger-only: channel balances, slots, and routing are
+    identical with or without it.
+    """
+
+    def policy_router(self, graph, upfront_rate=0.1, upfront_base=0.5):
+        return HtlcRouter(graph, fee=FeePolicy(
+            success=ConstantFee(0.0),
+            upfront_base=upfront_base,
+            upfront_rate=upfront_rate,
+        ))
+
+    def test_pending_lock_charges_every_placed_hop(self, line3):
+        router = self.policy_router(line3)
+        payment = router.lock(["a", "b", "c"], 2.0)
+        assert payment.state is HtlcState.PENDING
+        # one charge per hop receiver: b (for a->b) and c (for b->c)
+        assert set(payment.upfront_fees_per_node) == {"b", "c"}
+        assert payment.upfront_fees_per_node["c"] == pytest.approx(
+            0.5 + 0.1 * 2.0
+        )
+        assert payment.upfront_total == pytest.approx(
+            sum(payment.upfront_fees_per_node.values())
+        )
+
+    def test_mid_path_failure_still_charges_placed_hops(self, line3):
+        # Jam the second hop's slots: the a->b hop is placed (and pays),
+        # the b->c hop never places (and doesn't).
+        bc = line3.channels_between("b", "c")[0]
+        bc.max_accepted_htlcs = 1
+        bc.open_htlc("b")
+        router = self.policy_router(line3)
+        rejected = router.lock(["a", "b", "c"], 2.0)
+        assert rejected.state is HtlcState.FAILED
+        assert rejected.failure_reason == "no-slots"
+        assert set(rejected.upfront_fees_per_node) == {"b"}
+        assert rejected.upfront_total == pytest.approx(0.5 + 0.1 * 2.0)
+
+    def test_fail_and_expire_never_refund(self, line3):
+        router = self.policy_router(line3, upfront_base=0.0)
+        failed = router.lock(["a", "b", "c"], 3.0)
+        charged = failed.upfront_total
+        router.fail(failed)
+        assert failed.upfront_total == charged
+        expired = router.lock(["a", "b", "c"], 3.0)
+        assert router.expire(expired, height=10**6)
+        assert expired.upfront_total == pytest.approx(charged)
+
+    def test_charge_is_ledger_only(self, line3):
+        # Identical locks with and without an upfront side must leave
+        # identical balances and slots: the charge never moves coins.
+        plain = HtlcRouter(line3)
+        p1 = plain.lock(["a", "b", "c"], 2.0)
+        plain.fail(p1)
+        before = {
+            (c.u, c.v, n): c.balance(n)
+            for c in line3.channels for n in c.endpoints
+        }
+        upfront = self.policy_router(line3)
+        p2 = upfront.lock(["a", "b", "c"], 2.0)
+        upfront.fail(p2)
+        after = {
+            (c.u, c.v, n): c.balance(n)
+            for c in line3.channels for n in c.endpoints
+        }
+        assert before == after
+        assert p2.upfront_total > 0
+
+    def test_success_only_fee_charges_nothing(self, line3):
+        router = HtlcRouter(line3, fee=ConstantFee(0.1))
+        payment = router.lock(["a", "b", "c"], 2.0)
+        assert payment.upfront_fees_per_node == {}
+        assert payment.upfront_total == 0.0
 
 
 class TestConcurrentUnwind:

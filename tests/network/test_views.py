@@ -410,19 +410,15 @@ class TestViewCaching:
         assert graph.version == version
 
 
-class TestDeprecatedWrappers:
-    def test_to_directed_warns_and_matches_view(self):
+class TestDeprecatedWrappersRemoved:
+    def test_networkx_materialisation_is_view_only(self):
+        """The to_undirected/to_directed deprecation cycle completed."""
         graph = barabasi_albert_snapshot(10, seed=2)
-        with pytest.warns(DeprecationWarning):
-            digraph = graph.to_directed()
-        assert set(digraph.edges) == set(
-            graph.view(directed=True).to_networkx().edges
-        )
-
-    def test_to_undirected_warns(self):
-        graph = barabasi_albert_snapshot(10, seed=2)
-        with pytest.warns(DeprecationWarning):
-            undirected = graph.to_undirected()
+        assert not hasattr(graph, "to_directed")
+        assert not hasattr(graph, "to_undirected")
+        digraph = graph.view(directed=True).to_networkx()
+        assert digraph.number_of_nodes() == len(graph)
+        undirected = graph.view(directed=False).to_networkx()
         assert undirected.number_of_nodes() == len(graph)
 
 

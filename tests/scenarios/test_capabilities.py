@@ -1,0 +1,77 @@
+"""Capability negotiation: engines declare what they support.
+
+Backend feature checks are negotiated through frozen
+:class:`EngineCapabilities` declarations instead of name comparisons —
+the registry, the engines' ``capabilities()`` classmethods, and the
+call sites that consult them (spec validation, attack runner, sharded
+trace runner) must all agree.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios.capabilities import (
+    BACKEND_CAPABILITIES,
+    BATCHED_CAPABILITIES,
+    EVENT_CAPABILITIES,
+    EngineCapabilities,
+    backend_capabilities,
+)
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert backend_capabilities("event") is EVENT_CAPABILITIES
+        assert backend_capabilities("batched") is BATCHED_CAPABILITIES
+        assert set(BACKEND_CAPABILITIES) == {"event", "batched"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ScenarioError, match="teleport"):
+            backend_capabilities("teleport")
+
+    def test_declarations_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EVENT_CAPABILITIES.event_injection = False
+
+
+class TestDeclarations:
+    def test_event_backend_is_fully_featured(self):
+        caps = EVENT_CAPABILITIES
+        assert caps.supports_payment_mode("instant")
+        assert caps.supports_payment_mode("htlc")
+        assert caps.event_injection
+        assert caps.mid_run_topology
+        assert caps.record_history
+        assert caps.parallel_channels
+
+    def test_batched_backend_declares_its_limits(self):
+        caps = BATCHED_CAPABILITIES
+        assert caps.supports_payment_mode("instant")
+        assert caps.supports_payment_mode("htlc")
+        assert caps.event_injection
+        assert not caps.mid_run_topology
+        assert not caps.record_history
+        assert not caps.parallel_channels
+
+    def test_no_backend_claims_shard_safe_stream_rng(self):
+        # The sharded runner's refusal of route_rng="stream" rests on
+        # this: revisit the refusal if a backend ever declares it.
+        assert not any(
+            caps.stream_rng_shard_safe
+            for caps in BACKEND_CAPABILITIES.values()
+        )
+
+
+class TestEngineClassmethods:
+    def test_engines_expose_their_declarations(self):
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.fastpath import BatchedSimulationEngine
+
+        assert SimulationEngine.capabilities() is EVENT_CAPABILITIES
+        assert BatchedSimulationEngine.capabilities() is BATCHED_CAPABILITIES
+
+    def test_declared_backend_names_match_registry_keys(self):
+        for name, caps in BACKEND_CAPABILITIES.items():
+            assert caps.backend == name

@@ -129,7 +129,10 @@ class TestOneFactory:
         import repro.attacks.runner as attacks_runner
         import repro.scenarios.factory as factory
 
-        assert attacks_runner.build_engine is factory.build_engine
+        assert (
+            attacks_runner.build_simulation_engine
+            is factory.build_simulation_engine
+        )
         assert attacks_runner.build_topology is factory.build_topology
         assert attacks_runner.build_workload is factory.build_workload
 

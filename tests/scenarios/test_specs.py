@@ -142,6 +142,58 @@ class TestValidation:
             Scenario(topology=TopologySpec("ba"), seed="7")
 
 
+class TestFeeSpecV2:
+    """The two-sided fee schema: v1 documents migrate losslessly."""
+
+    def test_v1_document_migrates_to_success_only(self):
+        # A v1 FeeSpec document has no upfront fields at all.
+        spec = FeeSpec.from_dict(
+            {"kind": "linear", "params": {"base": 0.01, "rate": 0.001}}
+        )
+        assert spec.upfront_base == 0.0
+        assert spec.upfront_rate == 0.0
+        assert not spec.has_upfront
+
+    def test_v1_scenario_document_loads_under_v2(self):
+        document = full_scenario().to_dict()
+        document["schema_version"] = 1
+        del document["fee"]["upfront_base"]
+        del document["fee"]["upfront_rate"]
+        scenario = Scenario.from_dict(document)
+        assert not scenario.fee.has_upfront
+        # re-emitted documents are always current-schema
+        assert scenario.to_dict()["schema_version"] == 2
+        assert scenario.to_dict()["fee"]["upfront_rate"] == 0.0
+
+    def test_upfront_round_trip(self):
+        spec = FeeSpec(
+            "linear", {"base": 0.01, "rate": 0.001},
+            upfront_base=0.002, upfront_rate=0.05,
+        )
+        assert spec.has_upfront
+        doc = spec.to_dict()
+        assert doc["upfront_base"] == 0.002
+        assert doc["upfront_rate"] == 0.05
+        assert FeeSpec.from_dict(json.loads(json.dumps(doc))) == spec
+
+    def test_negative_upfront_rejected(self):
+        with pytest.raises(ScenarioError, match="upfront_rate"):
+            FeeSpec("constant", {"fee": 0.1}, upfront_rate=-0.1)
+        with pytest.raises(ScenarioError, match="upfront_base"):
+            FeeSpec("constant", {"fee": 0.1}, upfront_base=-1.0)
+
+    def test_non_numeric_upfront_rejected(self):
+        with pytest.raises(ScenarioError, match="upfront_rate"):
+            FeeSpec("constant", {"fee": 0.1}, upfront_rate="0.05")
+
+    def test_upfront_override_path(self):
+        s = full_scenario()
+        out = s.with_overrides({"fee.upfront_rate": 0.05})
+        assert out.fee.upfront_rate == 0.05
+        assert out.fee.has_upfront
+        assert not s.fee.has_upfront
+
+
 class TestOverrides:
     def test_override_nested_param(self):
         s = full_scenario()

@@ -28,6 +28,7 @@ class TestAttackReportRoundTrip:
         return AttackReport(
             strategy="slow-jamming", victim="center", horizon=40.0,
             budget=100.0, budget_spent=60.0, attacker_fees_paid=1.5,
+            attacker_upfront_paid=0.75,
             attacks_launched=10, attacks_held=8, attacks_rejected=2,
             locked_liquidity_integral=123.4,
             baseline_attempted=50, baseline_succeeded=40,
@@ -36,6 +37,8 @@ class TestAttackReportRoundTrip:
             baseline_victim_revenue=5.0, attacked_victim_revenue=2.0,
             victim_revenue_delta=3.0, baseline_total_revenue=9.0,
             attacked_total_revenue=6.0,
+            baseline_victim_upfront_revenue=0.4,
+            attacked_victim_upfront_revenue=0.3,
         )
 
     def test_json_round_trip_is_lossless(self):
@@ -43,7 +46,12 @@ class TestAttackReportRoundTrip:
         assert AttackReport.from_json(report.to_json()) == report
 
     def test_document_is_schema_versioned(self):
-        assert self.make().to_dict()["schema_version"] == 1
+        assert self.make().to_dict()["schema_version"] == 2
+
+    def test_attacker_roi(self):
+        report = self.make()
+        assert report.attacker_cost == pytest.approx(60.0 + 1.5 + 0.75)
+        assert report.attacker_roi == pytest.approx(3.0 / 62.25)
 
     def test_version_mismatch_rejected(self):
         doc = self.make().to_dict()

@@ -231,10 +231,20 @@ class TestFailureParity:
 
 
 class TestGuards:
-    def test_htlc_mode_rejected(self):
+    def test_unknown_payment_mode_rejected(self):
         graph = ChannelGraph.from_edges([("a", "b")], balance=1.0)
-        with pytest.raises(SimulationError, match="instant"):
-            BatchedSimulationEngine(graph, payment_mode="htlc")
+        with pytest.raises(SimulationError, match="payment_mode"):
+            BatchedSimulationEngine(graph, payment_mode="teleport")
+
+    def test_htlc_mode_accepted(self):
+        graph = ChannelGraph.from_edges([("a", "b")], balance=1.0)
+        engine = BatchedSimulationEngine(graph, payment_mode="htlc")
+        assert engine.payment_mode == "htlc"
+
+    def test_bad_hold_mean_rejected(self):
+        graph = ChannelGraph.from_edges([("a", "b")], balance=1.0)
+        with pytest.raises(SimulationError, match="htlc_hold_mean"):
+            BatchedSimulationEngine(graph, htlc_hold_mean=0.0)
 
     def test_parallel_channels_rejected(self):
         graph = ChannelGraph()
@@ -244,38 +254,47 @@ class TestGuards:
         with pytest.raises(SimulationError, match="parallel"):
             engine.run_trace([])
 
-    def test_spec_rejects_batched_htlc(self):
-        with pytest.raises(ScenarioError, match="instant"):
-            SimulationSpec(payment_mode="htlc", backend="batched")
+    def test_spec_accepts_batched_htlc(self):
+        spec = SimulationSpec(payment_mode="htlc", backend="batched")
+        assert spec.payment_mode == "htlc"
 
     def test_spec_rejects_unknown_backend(self):
         with pytest.raises(ScenarioError, match="backend"):
             SimulationSpec(backend="warp")
 
-    def test_spec_rejects_batched_attack(self):
+    def test_batched_attack_scenario_validates(self):
         from repro.scenarios import AttackSpec
 
-        with pytest.raises(ScenarioError, match="event"):
-            Scenario(
-                topology=TopologySpec("star", {"leaves": 4}),
-                simulation=SimulationSpec(backend="batched"),
-                attack=AttackSpec("slow-jamming", {"budget": 10.0}),
-            )
+        scenario = Scenario(
+            topology=TopologySpec("star", {"leaves": 4}),
+            simulation=SimulationSpec(backend="batched"),
+            attack=AttackSpec("slow-jamming", {"budget": 10.0}),
+        )
+        assert scenario.simulation.backend == "batched"
 
-    def test_attack_runner_guard(self):
-        """Defence in depth: the runner re-checks the backend invariant."""
+    def test_attack_runner_guard(self, monkeypatch):
+        """Defence in depth: the runner re-consults the capability table."""
         from repro.attacks.runner import AttackRunner
         from repro.scenarios import AttackSpec
+        from repro.scenarios import capabilities as caps
 
+        monkeypatch.setitem(
+            caps.BACKEND_CAPABILITIES,
+            "frozen",
+            caps.EngineCapabilities(
+                backend="frozen", payment_modes=("instant",),
+                event_injection=False,
+            ),
+        )
         scenario = Scenario(
             topology=TopologySpec("star", {"leaves": 4}),
             simulation=SimulationSpec(horizon=5.0),
             attack=AttackSpec("slow-jamming", {"budget": 10.0}),
         )
         object.__setattr__(
-            scenario, "simulation", SimulationSpec(backend="batched")
+            scenario, "simulation", SimulationSpec(backend="frozen")
         )
-        with pytest.raises(ScenarioError, match="event"):
+        with pytest.raises(ScenarioError, match="event injection"):
             AttackRunner().run(scenario)
 
     def test_bad_epoch_size(self):

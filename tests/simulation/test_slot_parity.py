@@ -1,0 +1,150 @@
+"""Event vs batched backend parity under HTLC slot exhaustion.
+
+The batched engine's HTLC mode keeps per-direction in-flight slot
+counters in array state; this suite drives both engines into slot
+exhaustion — down to tight per-channel caps and up against the default
+Lightning 483 cap — and requires the runs to be *bit-identical*:
+the same failure-reason multiset (including ``no-htlc-slots``), the
+same metrics document, and the same final channel balances.
+"""
+
+import pytest
+
+from repro.network.fees import LinearFee
+from repro.network.graph import ChannelGraph
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import PaymentEvent
+from repro.simulation.fastpath import BatchedSimulationEngine
+from repro.transactions.distributions import UniformDistribution
+from repro.transactions.workload import PoissonWorkload
+
+
+def poisson(graph, rate, seed):
+    return PoissonWorkload(
+        UniformDistribution.from_graph(graph),
+        {node: rate for node in graph.nodes},
+        seed=seed,
+    )
+
+
+def star_graph(leaves=5, balance=50.0, slot_cap=None):
+    graph = ChannelGraph()
+    for i in range(leaves):
+        graph.add_channel(
+            "hub", f"leaf{i}", balance, balance,
+            max_accepted_htlcs=slot_cap,
+        )
+    return graph
+
+
+def final_balances(graph):
+    # Keyed by endpoints, not channel_id: ids are globally sequential,
+    # so two separately built graphs never share them. All graphs here
+    # are simple, so (u, v, node) is unique.
+    return {
+        (channel.u, channel.v, node): channel.balance(node)
+        for channel in graph.channels for node in channel.endpoints
+    }
+
+
+def run_both(graph_factory, schedule, seed=7, hold=5.0, fee=None):
+    """Run the same event schedule on both engines; return the metrics."""
+    results = []
+    for engine_cls in (SimulationEngine, BatchedSimulationEngine):
+        graph = graph_factory()
+        engine = engine_cls(
+            graph, fee=fee, seed=seed,
+            payment_mode="htlc", htlc_hold_mean=hold,
+        )
+        schedule(engine)
+        results.append((engine.run(), final_balances(graph)))
+    (event_metrics, event_balances), (batched_metrics, batched_balances) = (
+        results
+    )
+    assert event_metrics.to_dict() == batched_metrics.to_dict()
+    assert event_balances == batched_balances
+    return event_metrics
+
+
+class TestSlotExhaustionParity:
+    def test_tight_cap_produces_identical_no_slots_failures(self):
+        # Cap of 2 per direction, long holds: most payments through the
+        # hub must fail on slots, identically on both engines.
+        def schedule(engine):
+            for i in range(40):
+                engine.schedule(PaymentEvent(
+                    time=0.1 * (i + 1),
+                    sender=f"leaf{i % 5}",
+                    receiver=f"leaf{(i + 1) % 5}",
+                    amount=1.0,
+                ))
+
+        metrics = run_both(
+            lambda: star_graph(slot_cap=2), schedule, hold=100.0
+        )
+        assert metrics.failure_reasons["no-htlc-slots"] > 0
+        assert metrics.attempted == 40
+
+    def test_default_483_cap_reached_and_enforced(self):
+        # One channel, uncapped balance pressure: payment 484 while 483
+        # are still in flight must fail on slots — the Lightning cap —
+        # on both engines, bit-identically.
+        def graph_factory():
+            graph = ChannelGraph()
+            graph.add_channel("a", "b", 10_000.0, 10_000.0)
+            return graph
+
+        def schedule(engine):
+            for i in range(500):
+                engine.schedule(PaymentEvent(
+                    time=0.001 * (i + 1), sender="a", receiver="b",
+                    amount=1.0,
+                ))
+
+        metrics = run_both(graph_factory, schedule, hold=1000.0)
+        assert metrics.failure_reasons["no-htlc-slots"] == 500 - 483
+        assert metrics.htlc_locked_peak == pytest.approx(483.0)
+
+    def test_slots_release_on_resolve_identically(self):
+        # Short holds: slots cycle, later payments reuse them. The
+        # interleaving of resolve and payment events is the hard part —
+        # any ordering divergence shows up in the failure counts.
+        def schedule(engine):
+            for i in range(60):
+                engine.schedule(PaymentEvent(
+                    time=0.5 * (i + 1),
+                    sender=f"leaf{i % 5}",
+                    receiver=f"leaf{(i + 2) % 5}",
+                    amount=2.0,
+                ))
+
+        metrics = run_both(
+            lambda: star_graph(slot_cap=3), schedule, hold=0.4
+        )
+        assert metrics.succeeded > 0
+
+    def test_workload_driven_parity_with_slots_and_fees(self):
+        # End-to-end: a Poisson workload plus a success fee, tight slot
+        # caps — revenue, fees, and failures must all agree.
+        def schedule(engine):
+            engine.schedule_workload(
+                poisson(engine.graph, rate=5.0, seed=11), horizon=20.0
+            )
+
+        metrics = run_both(
+            lambda: star_graph(slot_cap=2, balance=5.0), schedule,
+            hold=2.0, fee=LinearFee(base=0.01, rate=0.001),
+        )
+        assert metrics.attempted > 0
+
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_parity_across_seeds(self, seed):
+        def schedule(engine):
+            engine.schedule_workload(
+                poisson(engine.graph, rate=3.0, seed=seed), horizon=15.0
+            )
+
+        run_both(
+            lambda: star_graph(slot_cap=1, balance=3.0), schedule,
+            seed=seed, hold=3.0,
+        )
