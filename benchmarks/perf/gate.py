@@ -45,6 +45,10 @@ BENCHMARKS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]] 
         ("batched_payments_per_sec",),
     ),
     "evolution": (("n",), (), ("epochs_per_sec",)),
+    # throughput_ratio = obs-on / obs-off payments per second on the same
+    # machine and run — relative by construction, so it gates tight; the
+    # gate's floor-relative flag is the <=5% disabled-overhead budget.
+    "obs": (("n",), ("throughput_ratio",), ("payments_per_sec_off",)),
 }
 
 

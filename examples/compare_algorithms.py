@@ -12,10 +12,9 @@ Run:
     python examples/compare_algorithms.py
 """
 
-import time
-
 from repro import JoiningUserModel, ModelParameters
 from repro.analysis import format_table
+from repro.obs.clock import monotonic
 from repro.core import (
     brute_force,
     continuous_local_search,
@@ -54,9 +53,9 @@ def main() -> None:
 
     rows = []
     for name, run in runs:
-        start = time.perf_counter()
+        start = monotonic()
         result = run()
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
         rows.append(
             {
                 "algorithm": name,

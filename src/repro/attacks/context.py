@@ -29,6 +29,7 @@ from ..errors import ScenarioError
 from ..network.channel import Channel
 from ..network.graph import ChannelGraph
 from ..network.htlc import HtlcPayment, HtlcState
+from ..obs import NULL_SESSION, ObsSession
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
     from ..simulation.engine import SimulationEngine
@@ -65,6 +66,8 @@ class AttackContext:
             balance, and paid fee is drawn from it.
         seed: attacker RNG stream (independent of the honest streams, so
             the honest trace is bit-identical with and without the attack).
+        obs: instrumentation session for attack counters and circuit
+            trace events (defaults to the shared disabled session).
     """
 
     def __init__(
@@ -75,6 +78,7 @@ class AttackContext:
         horizon: float,
         budget: float,
         seed: int = 0,
+        obs: Optional[ObsSession] = None,
     ) -> None:
         if budget < 0:
             raise ScenarioError(f"attack budget must be >= 0, got {budget}")
@@ -94,6 +98,7 @@ class AttackContext:
         self.attacks_rejected = 0
         self.locked_liquidity_integral = 0.0
         self.rng = np.random.default_rng([seed & 0x7FFFFFFF, 0xA77AC])
+        self._obs = obs if obs is not None else NULL_SESSION
         # payment_id -> (payment, lock time); resolved or finalized later.
         self._active: Dict[int, Tuple[HtlcPayment, float]] = {}
 
@@ -136,6 +141,14 @@ class AttackContext:
         if cost > self.budget_remaining + 1e-12:
             return None
         self.budget_spent += cost
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter("attack.channels_opened").inc()
+            obs.event(
+                "attack.open_channel",
+                t=self.now, owner=str(owner), peer=str(peer),
+                funding=funding, push=push,
+            )
         return self.graph.add_channel(owner, peer, funding, push)
 
     def hop_amounts(self, hops: int, amount: float) -> List[float]:
@@ -158,10 +171,24 @@ class AttackContext:
         # hammers this path tens of thousands of times.
         if payment.upfront_fees_per_node:
             self.upfront_paid += payment.upfront_total
+        obs = self._obs
         if payment.state is not HtlcState.PENDING:
             self.attacks_rejected += 1
+            if obs.enabled:
+                obs.registry.counter("attack.locks_rejected").inc()
+                obs.event(
+                    "attack.lock_rejected",
+                    t=self.now, hops=len(path) - 1, amount=amount,
+                )
             return None
         self.attacks_held += 1
+        if obs.enabled:
+            obs.registry.counter("attack.locks_held").inc()
+            obs.event(
+                "attack.lock",
+                t=self.now, payment_id=payment.payment_id,
+                hops=len(path) - 1, amount=amount,
+            )
         self._active[payment.payment_id] = (payment, self.now)
         return payment
 
@@ -187,6 +214,16 @@ class AttackContext:
             self.fees_paid += sum(payment.fees_per_node.values())
         else:
             self.engine.htlc_router.fail(payment)
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter(
+                "attack.settled" if settle else "attack.failed"
+            ).inc()
+            obs.event(
+                "attack.resolve",
+                t=self.now, payment_id=payment_id, settle=settle,
+                held=self.now - locked_at,
+            )
         return payment
 
     def finalize(self) -> None:

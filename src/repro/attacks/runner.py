@@ -25,6 +25,7 @@ from typing import Hashable, List, Optional
 from ..errors import ScenarioError
 from ..network.betweenness import pair_weighted_betweenness
 from ..network.graph import ChannelGraph
+from ..obs import ObsSession, default_session
 from ..scenarios.capabilities import backend_capabilities
 from ..scenarios.factory import (
     build_simulation_engine,
@@ -74,7 +75,16 @@ class AttackOutcome:
 
 
 class AttackRunner:
-    """Runs the attack stage of a scenario (see the module docstring)."""
+    """Runs the attack stage of a scenario (see the module docstring).
+
+    ``obs`` instruments both runs of the pair: phase timers around the
+    baseline and attacked simulations, attack-circuit trace events from
+    the shared :class:`AttackContext`. Both engines publish into the one
+    session, so counters accumulate across the pair.
+    """
+
+    def __init__(self, obs: Optional[ObsSession] = None) -> None:
+        self._obs = obs if obs is not None else default_session()
 
     def run(self, scenario: Scenario) -> AttackOutcome:
         spec = scenario.attack
@@ -93,30 +103,35 @@ class AttackRunner:
             )
         strategy = self._build_strategy(spec)
         horizon = scenario.simulation.horizon
+        obs = self._obs
 
         # One honest trace, generated before the attacker exists, replayed
         # in both runs: the baseline/attacked diff is pure attack effect.
-        baseline_graph = build_topology(scenario.topology, seed=scenario.seed)
-        if strategy.slot_cap is not None:
-            baseline_graph.set_htlc_slot_cap(strategy.slot_cap)
-        workload = build_workload(scenario, baseline_graph)
-        trace: List[Transaction] = list(workload.generate(horizon))
+        with obs.phase("attack.setup"):
+            baseline_graph = build_topology(
+                scenario.topology, seed=scenario.seed
+            )
+            if strategy.slot_cap is not None:
+                baseline_graph.set_htlc_slot_cap(strategy.slot_cap)
+            workload = build_workload(scenario, baseline_graph)
+            trace: List[Transaction] = list(workload.generate(horizon))
 
         # run() drains resolve events scheduled past the horizon — same
         # contract as the plain simulation stage, so attack and non-attack
         # rows of one sweep report comparable success rates. Attacker
         # events are never scheduled past the horizon (ctx.schedule), so
         # the attacked queue drains too.
-        baseline = build_simulation_engine(scenario, baseline_graph)
+        baseline = build_simulation_engine(scenario, baseline_graph, obs=obs)
         baseline.schedule_transactions(trace)
-        baseline_metrics = baseline.run()
+        with obs.phase("attack.baseline"):
+            baseline_metrics = baseline.run()
         baseline_metrics.horizon = horizon
 
         attacked_graph = build_topology(scenario.topology, seed=scenario.seed)
         if strategy.slot_cap is not None:
             attacked_graph.set_htlc_slot_cap(strategy.slot_cap)
         victim = select_victim(attacked_graph, strategy.victim)
-        engine = build_simulation_engine(scenario, attacked_graph)
+        engine = build_simulation_engine(scenario, attacked_graph, obs=obs)
         engine.schedule_transactions(trace)
         ctx = AttackContext(
             graph=attacked_graph,
@@ -125,6 +140,7 @@ class AttackRunner:
             horizon=horizon,
             budget=strategy.budget,
             seed=scenario.seed,
+            obs=obs,
         )
         engine.register_handler(
             AttackTickEvent, lambda event: strategy.on_tick(ctx, event)
@@ -133,7 +149,8 @@ class AttackRunner:
             AttackResolveEvent, lambda event: strategy.on_resolve(ctx, event)
         )
         strategy.start(ctx)
-        attacked_metrics = engine.run()
+        with obs.phase("attack.attacked"):
+            attacked_metrics = engine.run()
         attacked_metrics.horizon = horizon
         ctx.finalize()
 

@@ -12,12 +12,18 @@ Subcommands:
 * ``stability`` — check whether a simple topology is a Nash equilibrium
   for given (a, b, l, s) and compare with the closed-form conditions;
 * ``simulate`` — run the discrete-event simulator on a snapshot and
-  report success rates and top earners;
+  report success rates and top earners (``--trace-out`` streams the
+  instrumentation trace to a JSONL file);
 * ``generate`` — write a synthetic snapshot to a JSON file;
 * ``estimate`` — simulate traffic with known parameters (Zipf ``s``,
   per-sender rates), then recover them and report the round-trip error;
 * ``run-scenario`` — execute a scenario described as a JSON file
-  (topology + workload + fee + algorithm + simulation) end to end;
+  (topology + workload + fee + algorithm + simulation) end to end
+  (``--profile`` additionally prints the hot-spot report);
+* ``profile`` — run a scenario fully instrumented (:mod:`repro.obs`)
+  and print the hot-spot report: top conflicting edges, per-phase wall
+  time, cache hit rates; ``--output`` writes the schema-versioned
+  ``RunTelemetry`` JSON, ``--trace-out`` the span/event JSONL trace;
 * ``sweep`` — evaluate a scenario JSON over a grid of dotted-path
   overrides (``--set topology.params.n=10,20,50``), serially or across
   worker processes (``--executor process``);
@@ -175,7 +181,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         name="simulate",
         seed=args.seed,
     )
-    metrics = ScenarioRunner().run(scenario).metrics
+    obs = None
+    if args.trace_out:
+        from .obs import ObsSession, TraceWriter
+
+        obs = ObsSession(tracer=TraceWriter(args.trace_out))
+    try:
+        metrics = ScenarioRunner(obs=obs).run(scenario).metrics
+    finally:
+        if obs is not None and obs.tracer is not None:
+            records = obs.tracer.records_written
+            obs.tracer.close()
+            print(f"wrote {records} trace records -> {args.trace_out}",
+                  file=sys.stderr)
     print(metrics.summary())
     earners = sorted(
         metrics.revenue.items(), key=lambda kv: kv[1], reverse=True
@@ -232,8 +250,10 @@ def _load_scenario(path: str) -> Scenario:
         raise ScenarioError(f"cannot read scenario file {path}: {exc}") from exc
 
 
-def _cmd_run_scenario(args: argparse.Namespace) -> int:
-    scenario = _load_scenario(args.scenario)
+def _apply_scenario_overrides(
+    scenario: Scenario, args: argparse.Namespace
+) -> Scenario:
+    """Apply the shared ``--seed`` / ``--backend`` override flags."""
     if args.seed is not None:
         scenario = scenario.with_overrides({"seed": args.seed})
     if args.backend is not None:
@@ -242,9 +262,54 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
                 "--backend needs a scenario with a simulation section"
             )
         scenario = scenario.with_overrides({"simulation.backend": args.backend})
-    result = ScenarioRunner().run(scenario)
+    return scenario
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    scenario = _apply_scenario_overrides(_load_scenario(args.scenario), args)
+    obs = None
+    if args.profile:
+        from .obs import ObsSession
+
+        obs = ObsSession(profile=True)
+    result = ScenarioRunner(obs=obs).run(scenario)
     print(result.summary())
     print(format_table([result.row], title=scenario.name))
+    if obs is not None:
+        from .obs import hotspot_table, telemetry_of
+
+        telemetry = telemetry_of(result)
+        if telemetry is not None:
+            print()
+            print(hotspot_table(telemetry))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a scenario fully instrumented and print the hot-spot report."""
+    from .obs import ObsSession, TraceWriter, hotspot_table, telemetry_of
+
+    scenario = _apply_scenario_overrides(_load_scenario(args.scenario), args)
+    tracer = TraceWriter(args.trace_out) if args.trace_out else None
+    obs = ObsSession(profile=True, tracer=tracer)
+    try:
+        result = ScenarioRunner(obs=obs).run(scenario)
+    finally:
+        if tracer is not None:
+            records = tracer.records_written
+            tracer.close()
+            print(f"wrote {records} trace records -> {args.trace_out}",
+                  file=sys.stderr)
+    telemetry = telemetry_of(result)
+    assert telemetry is not None  # profile=True forces an enabled session
+    print(result.summary())
+    print()
+    print(hotspot_table(telemetry, top=args.top))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(telemetry.to_json())
+            handle.write("\n")
+        print(f"wrote telemetry -> {args.output}")
     return 0
 
 
@@ -633,6 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorised batched fast path (identical metrics, large traces "
         "run several times faster)",
     )
+    p_sim.add_argument(
+        "--trace-out", default=None, metavar="SPANS_JSONL",
+        help="stream the instrumentation trace (spans/events, one JSON "
+        "record per line) to this file",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_est = sub.add_parser(
@@ -654,7 +724,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["event", "batched"], default=None,
         help="override the scenario's simulation backend",
     )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="instrument the run and print the hot-spot report "
+        "(results are bit-identical either way)",
+    )
     p_run.set_defaults(func=_cmd_run_scenario)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run a scenario instrumented and print the hot-spot report",
+    )
+    p_prof.add_argument("scenario", help="scenario JSON path")
+    p_prof.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    p_prof.add_argument(
+        "--backend", choices=["event", "batched"], default=None,
+        help="override the scenario's simulation backend",
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=10,
+        help="rows per hot-spot table section",
+    )
+    p_prof.add_argument(
+        "--trace-out", default=None, metavar="SPANS_JSONL",
+        help="also stream the span/event trace to this JSONL file",
+    )
+    p_prof.add_argument(
+        "--output", default=None, metavar="TELEMETRY_JSON",
+        help="write the schema-versioned RunTelemetry document here",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_sweep = sub.add_parser(
         "sweep", help="evaluate a scenario over a grid of overrides"

@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue: RPR001–RPR008.
+"""The reprolint rule catalogue: RPR001–RPR009.
 
 Each rule encodes one structural invariant the reproduction's headline
 claims rest on (bit-identical backend parity, byte-identical CLI runs,
@@ -9,20 +9,22 @@ RPR001    no unseeded / global-state randomness in library code
 RPR002    ``GraphView`` CSR arrays are written only by ``network/views.py``
 RPR003    spec/report/trajectory dataclasses are frozen and JSON-typed
 RPR004    no calls to deprecated APIs (``register_deprecation`` registry)
-RPR005    no wall-clock reads in library code (benchmarks exempt)
+RPR005    no calendar-clock reads in library code (benchmarks exempt)
 RPR006    plugin registrations are import-time, string-literal-keyed
 RPR007    no mutable default arguments or module-level mutable singletons
 RPR008    store writes are atomic (service/store.py only) and artifact
           ``to_dict`` documents carry a ``schema_version``
+RPR009    timer reads (monotonic/perf_counter) go through
+          ``repro.obs.clock`` (benchmarks and obs/clock.py exempt)
 ========  ==============================================================
 
 Rules register into :data:`RULES` — the same string-keyed
 :class:`~repro.scenarios.registry.Registry` idiom the scenario plugins
 use — so a new rule is a subclass plus a decorator::
 
-    @register_rule("RPR009")
+    @register_rule("RPR010")
     class NoPrintRule(Rule):
-        rule_id = "RPR009"
+        rule_id = "RPR010"
         ...
 
 The deprecation list of RPR004 is itself a tiny registry: call
@@ -51,6 +53,7 @@ __all__ = [
     "RegistrationDisciplineRule",
     "MutableStateRule",
     "StoreHygieneRule",
+    "ClockDisciplineRule",
 ]
 
 #: Lint rules, keyed by rule id. Iteration order is sorted, so the
@@ -360,9 +363,9 @@ class DeprecatedCallRule(Rule):
 # RPR005 — wall clock in library code
 # ---------------------------------------------------------------------------
 
+#: Calendar clocks — absolute dates/times; RPR009 owns the timer family.
 _WALL_CLOCK = frozenset({
-    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns",
+    "time.time", "time.time_ns",
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "datetime.date.today",
 })
@@ -374,9 +377,10 @@ class WallClockRule(Rule):
     rule_id = "RPR005"
     title = "wall-clock"
     description = (
-        "Library code must not read the wall clock (time.time, "
-        "datetime.now, perf_counter, ...): simulated time comes from the "
-        "event queue, and timing belongs in benchmarks/ (exempt)."
+        "Library code must not read the calendar clock (time.time, "
+        "datetime.now, ...): simulated time comes from the event queue, "
+        "and timing belongs in benchmarks/ (exempt). Elapsed-time "
+        "measurement goes through repro.obs.clock (RPR009)."
     )
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -643,3 +647,45 @@ class StoreHygieneRule(Rule):
             ):
                 return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# RPR009 — timer reads go through repro.obs.clock
+# ---------------------------------------------------------------------------
+
+#: Timer-family clocks (elapsed time, no calendar meaning) — disjoint
+#: from RPR005's calendar set, so each fixture trips exactly one rule.
+_TIMER_CLOCK = frozenset({
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+})
+_TIMER_EXEMPT_PREFIXES = ("benchmarks/",)
+_TIMER_HOME_SUFFIX = "obs/clock.py"
+
+
+@register_rule("RPR009")
+class ClockDisciplineRule(Rule):
+    rule_id = "RPR009"
+    title = "clock-discipline"
+    description = (
+        "Elapsed-time measurement goes through `repro.obs.clock` "
+        "(the one injectable, fake-able timer source): direct "
+        "`time.monotonic`/`time.perf_counter` calls outside obs/clock.py "
+        "and benchmarks/ fragment the timing discipline and dodge "
+        "FakeClock-based tests."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = self.ctx.path
+        if path.startswith(_TIMER_EXEMPT_PREFIXES):
+            return
+        if path.endswith(_TIMER_HOME_SUFFIX):
+            return
+        full = self.ctx.resolve(node.func)
+        if full in _TIMER_CLOCK:
+            self.report(
+                node,
+                f"timer call `{full}` bypasses repro.obs.clock; import "
+                "`monotonic` from repro.obs.clock so tests can inject a "
+                "FakeClock",
+            )

@@ -46,6 +46,7 @@ from ..equilibrium.node_utility import NetworkGameModel
 from ..network.fees import FeeFunction
 from ..network.graph import ChannelGraph
 from ..network.lifecycle import ChannelLifecycle, sample_close_mode
+from ..obs import ObsSession, default_session
 from ..scenarios.grid import derive_seed
 from ..scenarios.specs import EvolutionSpec
 from ..simulation.fastpath import BatchedSimulationEngine
@@ -83,6 +84,9 @@ class EvolutionEngine:
             provider's replays.
         utility_provider: override the provider the spec would build.
         seed: master seed; every stochastic phase derives from it.
+        obs: instrumentation session — per-phase wall time, per-epoch
+            trace events, traffic-engine counters. Never touches the
+            run's RNG streams, so results are obs-invariant.
     """
 
     def __init__(
@@ -97,6 +101,7 @@ class EvolutionEngine:
         fee: Optional[FeeFunction] = None,
         utility_provider: Optional[UtilityProvider] = None,
         seed: int = 0,
+        obs: Optional[ObsSession] = None,
     ) -> None:
         self.graph = graph.copy()
         self.spec = spec
@@ -104,6 +109,7 @@ class EvolutionEngine:
         self.churn = churn
         self.fee = fee
         self.seed = seed
+        self._obs = obs if obs is not None else default_session()
         self._rng = np.random.default_rng(seed)
         self._lifecycle = ChannelLifecycle(spec.onchain_fee)
         self._arrival_counter = 0
@@ -180,7 +186,7 @@ class EvolutionEngine:
         # Measure on a copy: epochs observe steady-state liquidity
         # instead of compounding depletion across the whole run.
         engine = BatchedSimulationEngine(
-            self.graph.copy(), fee=self.fee, seed=epoch_seed
+            self.graph.copy(), fee=self.fee, seed=epoch_seed, obs=self._obs
         )
         metrics = engine.run_trace(trace)
         return metrics, trace
@@ -264,13 +270,26 @@ class EvolutionEngine:
             "total_closure_costs": 0.0,
             "total_moves": 0,
         }
+        obs = self._obs
         for epoch in range(spec.epochs):
             epoch_seed = derive_seed(self.seed, epoch)
-            arrivals = self._arrival_phase(epoch_seed)
-            departures, closure_costs = self._churn_phase()
-            metrics, trace = self._traffic_phase(epoch_seed)
-            self.provider.prepare(self.graph, metrics, trace, epoch_seed)
-            moves, max_gain = self._best_response_phase(epoch_seed)
+            with obs.phase("evolution.arrivals"):
+                arrivals = self._arrival_phase(epoch_seed)
+            with obs.phase("evolution.churn"):
+                departures, closure_costs = self._churn_phase()
+            with obs.phase("evolution.traffic"):
+                metrics, trace = self._traffic_phase(epoch_seed)
+            with obs.phase("evolution.best_response"):
+                self.provider.prepare(self.graph, metrics, trace, epoch_seed)
+                moves, max_gain = self._best_response_phase(epoch_seed)
+            if obs.enabled:
+                obs.registry.counter("evolution.epochs").inc()
+                obs.event(
+                    "evolution.epoch",
+                    epoch=epoch, arrivals=arrivals, departures=departures,
+                    moves=len(moves), nodes=len(self.graph),
+                    channels=self.graph.num_channels(),
+                )
             totals["total_arrivals"] += arrivals
             totals["total_departures"] += departures
             totals["total_closure_costs"] += closure_costs

@@ -13,9 +13,11 @@ seed so epochs see decorrelated (but reproducible) traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ScenarioError
 from ..network.graph import ChannelGraph
+from ..obs import ObsSession, default_session
 from ..scenarios.factory import (
     build_churn,
     build_fee,
@@ -41,6 +43,9 @@ class EvolutionOutcome:
 
 class EvolutionRunner:
     """Executes the ``evolution`` stage of a scenario."""
+
+    def __init__(self, obs: Optional[ObsSession] = None) -> None:
+        self._obs = obs if obs is not None else default_session()
 
     def run(self, scenario: Scenario) -> EvolutionOutcome:
         spec = scenario.evolution
@@ -68,6 +73,7 @@ class EvolutionRunner:
             workload_factory=workload_factory,
             fee=fee,
             seed=scenario.seed,
+            obs=self._obs,
         )
         trajectory = engine.run()
         return EvolutionOutcome(graph=engine.graph, trajectory=trajectory)

@@ -1,0 +1,191 @@
+"""repro.obs — deterministic instrumentation, tracing, and profiling.
+
+The observability layer every engine, the attacks runner, the evolution
+engine, the service queue, and the CLI hang their hooks on. Design
+contract (enforced by the parity suite in ``tests/obs/``):
+
+* **zero overhead when disabled** — the default :data:`NULL_SESSION`
+  carries the shared :data:`~repro.obs.registry.NULL_REGISTRY`; hot
+  loops pay one attribute lookup and a falsy check;
+* **determinism** — wall-clock reads live only in
+  :mod:`repro.obs.clock`; instrumentation never touches simulation RNG
+  or results, so obs-on and obs-off runs are bit-identical.
+
+One :class:`ObsSession` is the per-run handle: a metrics registry, an
+optional :class:`~repro.obs.trace.TraceWriter`, a ``profile`` flag that
+turns on the (slightly costlier) per-edge conflict attribution, and the
+accumulators the :class:`~repro.obs.report.RunTelemetry` artifact is
+built from.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+from .clock import Clock, FakeClock, get_clock, monotonic, set_clock
+from .registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    obs_enabled_from_env,
+    registry_for,
+)
+from .report import (
+    TELEMETRY_SCHEMA_VERSION,
+    RunTelemetry,
+    attach_telemetry,
+    hotspot_table,
+    telemetry_of,
+)
+from .trace import TRACE_SCHEMA_VERSION, TraceWriter
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "FakeClock",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SESSION",
+    "NullRegistry",
+    "ObsSession",
+    "RunTelemetry",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
+    "Timer",
+    "TraceWriter",
+    "attach_telemetry",
+    "default_session",
+    "get_clock",
+    "hotspot_table",
+    "monotonic",
+    "obs_enabled_from_env",
+    "registry_for",
+    "set_clock",
+    "telemetry_of",
+]
+
+
+class ObsSession:
+    """One run's instrumentation handle.
+
+    Args:
+        enabled: force on/off; ``None`` resolves to "on if a tracer or
+            ``profile`` was given, else the ``REPRO_OBS`` env flag".
+        tracer: optional :class:`TraceWriter` receiving span/event
+            records (implies enabled).
+        profile: also collect per-edge conflict attribution in the
+            batched backend (implies enabled; costs extra on
+            conflict-heavy runs — see ``profile_ratio`` in bench_obs).
+    """
+
+    __slots__ = (
+        "enabled", "registry", "tracer", "profile",
+        "edge_conflicts", "phase_seconds",
+    )
+
+    def __init__(
+        self,
+        enabled: Optional[bool] = None,
+        tracer: Optional[TraceWriter] = None,
+        profile: bool = False,
+    ) -> None:
+        if enabled is None:
+            enabled = profile or tracer is not None or obs_enabled_from_env()
+        self.enabled = bool(enabled)
+        self.registry: MetricsRegistry = (
+            MetricsRegistry() if self.enabled else NULL_REGISTRY
+        )
+        self.tracer = tracer if self.enabled else None
+        self.profile = bool(profile) and self.enabled
+        #: directed edge (src, dst) -> cache-invalidating conflicts.
+        self.edge_conflicts: Dict[Tuple[Any, Any], int] = {}
+        #: phase name -> accumulated wall seconds.
+        self.phase_seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase (no-op, clock untouched, when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        started = monotonic()
+        try:
+            yield
+        finally:
+            elapsed = monotonic() - started
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + elapsed
+            )
+            if self.tracer is not None:
+                self.tracer.event("phase", phase=name, seconds=elapsed)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Forward a trace event iff a tracer is attached."""
+        if self.tracer is not None:
+            self.tracer.event(name, **fields)
+
+    def add_edge_conflicts(
+        self, pairs: Iterable[Tuple[Tuple[Any, Any], int]]
+    ) -> None:
+        """Fold per-edge conflict counts into the session accumulator."""
+        table = self.edge_conflicts
+        for edge, count in pairs:
+            table[edge] = table.get(edge, 0) + int(count)
+
+    def build_telemetry(self, top_edges: int = 20) -> RunTelemetry:
+        """Freeze the session's measurements into a :class:`RunTelemetry`."""
+        snapshot = self.registry.snapshot()
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        cache: Dict[str, float] = {}
+        payments = counters.get("fastpath.payments", 0.0)
+        conflicts = counters.get("fastpath.conflicts", 0.0)
+        tree_hits = counters.get("fastpath.tree_hits", 0.0)
+        tree_builds = counters.get("fastpath.tree_builds", 0.0)
+        if payments > 0:
+            cache["conflict_rate"] = conflicts / payments
+        if tree_hits + tree_builds > 0:
+            cache["tree_hit_rate"] = tree_hits / (tree_hits + tree_builds)
+        if "fastpath.mask_builds" in counters:
+            cache["mask_builds"] = counters["fastpath.mask_builds"]
+        ordered = sorted(
+            self.edge_conflicts.items(),
+            key=lambda kv: (-kv[1], str(kv[0])),
+        )
+        return RunTelemetry(
+            counters=dict(counters),
+            gauges=dict(gauges),
+            phase_seconds=dict(self.phase_seconds),
+            histograms=dict(snapshot.get("histograms", {})),
+            top_conflicting_edges=tuple(
+                (src, dst, count) for (src, dst), count in ordered[:top_edges]
+            ),
+            cache=cache,
+        )
+
+
+#: The shared disabled session — what everything sees by default.
+NULL_SESSION = ObsSession(enabled=False)
+
+_default: Optional[ObsSession] = None
+
+
+def default_session() -> ObsSession:
+    """The process-default session: enabled iff ``REPRO_OBS`` is set.
+
+    Cached after the first call so every engine constructed in an
+    opted-in process aggregates into one registry.
+    """
+    global _default
+    if _default is None:
+        _default = ObsSession()
+    return _default

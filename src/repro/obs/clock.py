@@ -1,0 +1,66 @@
+"""The single sanctioned wall-clock source of the library.
+
+Every timing read outside ``benchmarks/`` flows through
+:func:`monotonic` (reprolint RPR009 enforces it): instrumentation code
+never calls ``time.perf_counter`` directly, so (a) tests can install a
+:class:`FakeClock` and make latency assertions deterministic, and
+(b) wall-clock reads stay confined to the obs layer — they never touch
+simulation RNG or results, which is what lets the parity suite prove
+obs-on and obs-off runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Clock", "FakeClock", "get_clock", "monotonic", "set_clock"]
+
+
+class Clock:
+    """Monotonic wall clock; the process default."""
+
+    def monotonic(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """Injectable test clock: time moves only when :meth:`advance` is called."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += float(seconds)
+        return self._now
+
+
+_active: Clock = Clock()
+
+
+def get_clock() -> Clock:
+    """The currently installed process clock."""
+    return _active
+
+
+def set_clock(clock: Optional[Clock]) -> Clock:
+    """Install ``clock`` process-wide (``None`` restores the real clock).
+
+    Returns the previously installed clock so tests can put it back:
+    ``previous = set_clock(FakeClock()) ... set_clock(previous)``.
+    """
+    global _active
+    previous = _active
+    _active = clock if clock is not None else Clock()
+    return previous
+
+
+def monotonic() -> float:
+    """Seconds on the installed monotonic clock — the one sanctioned read."""
+    return _active.monotonic()

@@ -19,6 +19,7 @@ from typing import Any, Callable, Optional, Union
 
 from ..errors import ScenarioError
 from ..network.graph import ChannelGraph
+from ..obs import ObsSession
 from ..simulation.engine import SimulationEngine
 from ..simulation.fastpath import BatchedSimulationEngine
 from .registry import CHURN, FEES, GROWTH, TOPOLOGIES, WORKLOADS
@@ -167,8 +168,16 @@ def build_churn(spec: ChurnSpec) -> Any:
         ) from exc
 
 
-def build_engine(scenario: Scenario, graph: ChannelGraph) -> SimulationEngine:
+def build_engine(
+    scenario: Scenario,
+    graph: ChannelGraph,
+    obs: Optional[ObsSession] = None,
+) -> SimulationEngine:
     """The event-driven :class:`SimulationEngine` for the scenario.
+
+    ``obs`` is an execution-time concern, not part of the spec (it would
+    perturb content hashes): the caller's instrumentation session is
+    threaded through to the engine here.
 
     Raises:
         ScenarioError: when the scenario has no simulation section or
@@ -194,11 +203,14 @@ def build_engine(scenario: Scenario, graph: ChannelGraph) -> SimulationEngine:
         payment_mode=sim.payment_mode,
         htlc_hold_mean=sim.htlc_hold_mean,
         route_rng=sim.route_rng,
+        obs=obs,
     )
 
 
 def build_batched_engine(
-    scenario: Scenario, graph: ChannelGraph
+    scenario: Scenario,
+    graph: ChannelGraph,
+    obs: Optional[ObsSession] = None,
 ) -> BatchedSimulationEngine:
     """The batched :class:`BatchedSimulationEngine` for the scenario."""
     sim = scenario.simulation
@@ -213,16 +225,19 @@ def build_batched_engine(
         payment_mode=sim.payment_mode,
         htlc_hold_mean=sim.htlc_hold_mean,
         route_rng=sim.route_rng,
+        obs=obs,
     )
 
 
 def build_simulation_engine(
-    scenario: Scenario, graph: ChannelGraph
+    scenario: Scenario,
+    graph: ChannelGraph,
+    obs: Optional[ObsSession] = None,
 ) -> Union[SimulationEngine, BatchedSimulationEngine]:
     """The engine the scenario's ``backend`` selects."""
     sim = scenario.simulation
     if sim is None:
         raise ScenarioError("scenario has no simulation section")
     if sim.backend == "batched":
-        return build_batched_engine(scenario, graph)
-    return build_engine(scenario, graph)
+        return build_batched_engine(scenario, graph, obs=obs)
+    return build_engine(scenario, graph, obs=obs)

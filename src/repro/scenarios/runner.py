@@ -48,6 +48,7 @@ from ..equilibrium import topologies  # noqa: F401  (star, path, circle, ...)
 from ..errors import ScenarioError
 from ..network.graph import ChannelGraph
 from ..network.views import GraphView
+from ..obs import ObsSession, attach_telemetry, default_session
 from ..params import ModelParameters
 from ..simulation.metrics import SimulationMetrics
 from ..snapshots import io as _snapshot_io  # noqa: F401  (topology: file)
@@ -242,10 +243,19 @@ class ScenarioRunner:
     The runner is stateless between calls; every ``run`` builds a fresh
     graph from the spec, so repeated runs (and parallel sweep points) are
     independent and reproducible from the scenario seed alone.
+
+    ``obs`` is the run's instrumentation session (phases, counters,
+    traces); it defaults to the process session, which is disabled — and
+    therefore free — unless ``REPRO_OBS`` is set. Instrumentation never
+    influences results: obs-on and obs-off runs are bit-identical.
     """
+
+    def __init__(self, obs: Optional[ObsSession] = None) -> None:
+        self._obs = obs if obs is not None else default_session()
 
     def run(self, scenario: Scenario) -> ScenarioResult:
         """Execute every stage the scenario declares."""
+        obs = self._obs
         row: Dict[str, Any] = {
             "scenario": scenario.name,
             "seed": scenario.seed,
@@ -256,7 +266,7 @@ class ScenarioRunner:
             # third topology here that would only be thrown away.
             from ..attacks.runner import AttackRunner
 
-            outcome = AttackRunner().run(scenario)
+            outcome = AttackRunner(obs=obs).run(scenario)
             result = ScenarioResult(
                 scenario=scenario,
                 row=row,
@@ -269,14 +279,14 @@ class ScenarioRunner:
                        channels=outcome.graph.num_channels())
             self._simulation_columns(row, outcome.attacked_metrics)
             row.update(outcome.report.to_row())
-            return result
+            return self._finalize(result)
         if scenario.evolution is not None:
             # The evolution stage owns topology construction too: its
             # engine mutates the graph across epochs, so the result's
             # graph is the *evolved* network, not the spec's topology.
             from ..evolution.runner import EvolutionRunner
 
-            outcome = EvolutionRunner().run(scenario)
+            outcome = EvolutionRunner(obs=obs).run(scenario)
             result = ScenarioResult(
                 scenario=scenario,
                 row=row,
@@ -286,12 +296,14 @@ class ScenarioRunner:
             row.update(nodes=len(outcome.graph),
                        channels=outcome.graph.num_channels())
             row.update(outcome.trajectory.row())
-            return result
-        graph = build_topology(scenario.topology, seed=scenario.seed)
+            return self._finalize(result)
+        with obs.phase("topology"):
+            graph = build_topology(scenario.topology, seed=scenario.seed)
         row.update(nodes=len(graph), channels=graph.num_channels())
         result = ScenarioResult(scenario=scenario, row=row, graph=graph)
         if scenario.algorithm is not None:
-            result.optimisation = self._run_algorithm(scenario, graph)
+            with obs.phase("algorithm"):
+                result.optimisation = self._run_algorithm(scenario, graph)
             opt = result.optimisation
             row.update(
                 algorithm=opt.algorithm,
@@ -303,6 +315,24 @@ class ScenarioRunner:
         if scenario.simulation is not None:
             result.metrics = self._run_simulation(scenario, graph)
             self._simulation_columns(row, result.metrics)
+        return self._finalize(result)
+
+    def _finalize(self, result: ScenarioResult) -> ScenarioResult:
+        """Attach the run's telemetry to the result and its artifacts.
+
+        The attachment is a side channel (``telemetry_of`` reads it back);
+        the artifacts' ``to_dict`` documents — and therefore content
+        hashes and store payloads — are untouched.
+        """
+        obs = self._obs
+        if not obs.enabled:
+            return result
+        telemetry = obs.build_telemetry()
+        attach_telemetry(result, telemetry)
+        for artifact in (result.metrics, result.baseline_metrics,
+                         result.attack, result.evolution):
+            if artifact is not None:
+                attach_telemetry(artifact, telemetry)
         return result
 
     @staticmethod
@@ -342,13 +372,17 @@ class ScenarioRunner:
         self, scenario: Scenario, graph: ChannelGraph
     ) -> SimulationMetrics:
         sim: SimulationSpec = scenario.simulation  # type: ignore[assignment]
-        workload = build_workload(scenario, graph)
+        obs = self._obs
+        with obs.phase("workload"):
+            workload = build_workload(scenario, graph)
         if sim.backend == "batched":
-            engine = build_batched_engine(scenario, graph)
-            return engine.run_trace(list(workload.generate(sim.horizon)))
-        engine = build_engine(scenario, graph)
+            engine = build_batched_engine(scenario, graph, obs=obs)
+            with obs.phase("simulate"):
+                return engine.run_trace(list(workload.generate(sim.horizon)))
+        engine = build_engine(scenario, graph, obs=obs)
         engine.schedule_workload(workload, horizon=sim.horizon)
-        return engine.run()
+        with obs.phase("simulate"):
+            return engine.run()
 
     def run_sweep(
         self,

@@ -25,7 +25,11 @@ Commands:
 ``{"cmd": "cancel", "hash": ...}``
     cancel a queued/running job.
 ``{"cmd": "stats"}``
-    queue + store counters.
+    queue + store counters (including ``started_at_monotonic`` /
+    ``events_seq`` for restart detection).
+``{"cmd": "metrics"}``
+    Prometheus text exposition of the queue's instruments — job-state
+    gauges, store hit rate, the queued->running latency histogram.
 ``{"cmd": "shutdown"}``
     stop serving after this response.
 
@@ -276,6 +280,10 @@ class ServiceServer:
             "store": self.manager.store.stats().to_dict(),
         }
 
+    async def _cmd_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        assert self.manager is not None
+        return {"ok": True, "metrics": self.manager.render_prometheus()}
+
     async def _cmd_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
         await self.stop()
         return {"ok": True, "stopping": True, "_close": True}
@@ -371,6 +379,10 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.request({"cmd": "stats"})
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition."""
+        return str(self.request({"cmd": "metrics"})["metrics"])
 
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"cmd": "shutdown"})

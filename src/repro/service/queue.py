@@ -27,6 +27,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
 from ..errors import ServiceError
+from ..obs.clock import monotonic
+from ..obs.registry import MetricsRegistry
 from .hashing import scenario_content_hash
 from .store import ResultStore
 
@@ -65,9 +67,16 @@ class Job:
             when identical in-flight hashes dedupe onto it).
         attempts: executions started (retries increment this).
         error: failure description once ``state == "failed"``.
+        created_at_monotonic: obs-clock submission time (the queue-latency
+            histogram measures from here to the first ``running``).
     """
 
-    def __init__(self, spec_hash: str, scenario_doc: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        spec_hash: str,
+        scenario_doc: Dict[str, Any],
+        on_event: Optional[Callable[["Job", str, Optional[str]], None]] = None,
+    ) -> None:
         self.spec_hash = spec_hash
         self.scenario_doc = scenario_doc
         self.state = "queued"
@@ -75,6 +84,9 @@ class Job:
         self.waiters = 1
         self.attempts = 0
         self.error: Optional[str] = None
+        self.created_at_monotonic = monotonic()
+        self.first_running_at: Optional[float] = None
+        self._on_event = on_event
         self.future: "asyncio.Future[Dict[str, Any]]" = (
             asyncio.get_running_loop().create_future()
         )
@@ -85,6 +97,8 @@ class Job:
         self.events.append(
             {"seq": len(self.events), "state": state, "detail": detail}
         )
+        if self._on_event is not None:
+            self._on_event(self, state, detail)
 
     @property
     def finished(self) -> bool:
@@ -143,6 +157,28 @@ class JobManager:
         self._pool: Optional[Executor] = None
         self._tasks: "Dict[str, asyncio.Task[None]]" = {}
         self._counts = {state: 0 for state in JOB_STATES}
+        #: Obs-clock instant this manager came up. A client that caches
+        #: ``started_at_monotonic`` can detect a daemon restart: the new
+        #: process reports a smaller value (and ``events_seq`` resets).
+        self.started_at_monotonic = monotonic()
+        #: Total job events emitted by this manager — monotonically
+        #: increasing across every job, never reset while alive.
+        self.events_seq = 0
+        #: Always-on service registry (the daemon is wall-clock-bound
+        #: anyway, so the determinism contract of the simulation layers
+        #: does not apply here).
+        self.registry = MetricsRegistry()
+
+    def _on_job_event(
+        self, job: Job, state: str, detail: Optional[str]
+    ) -> None:
+        self.events_seq += 1
+        if state == "running" and job.first_running_at is None:
+            now = monotonic()
+            job.first_running_at = now
+            self.registry.histogram("service.queue_latency_seconds").observe(
+                now - job.created_at_monotonic
+            )
 
     # -- pool management -------------------------------------------------
 
@@ -193,7 +229,7 @@ class JobManager:
             existing._event(existing.state, "deduplicated submission")
             return existing
 
-        job = Job(spec_hash, document)
+        job = Job(spec_hash, document, on_event=self._on_job_event)
         # Keyed by hash: resubmitting a finished hash replaces its job
         # (the fresh one carries the fresh lifecycle) without duplicating
         # the listing; dict order keeps first-submission order.
@@ -287,7 +323,13 @@ class JobManager:
         return True
 
     def stats(self) -> Dict[str, Any]:
-        """Plain-JSON counters (jobs by terminal state + live view)."""
+        """Plain-JSON counters (jobs by terminal state + live view).
+
+        ``started_at_monotonic`` / ``events_seq`` let a polling client
+        detect daemon restarts: a restart resets both, so a response
+        whose ``events_seq`` went backwards (or whose start instant
+        changed) comes from a different process.
+        """
         live = {"queued": 0, "running": 0}
         for job in self._jobs.values():
             if job.state in live:
@@ -296,4 +338,32 @@ class JobManager:
         doc.update(live)
         for state in _TERMINAL:
             doc[state] = self._counts[state]
+        doc["started_at_monotonic"] = self.started_at_monotonic
+        doc["uptime_seconds"] = monotonic() - self.started_at_monotonic
+        doc["events_seq"] = self.events_seq
         return doc
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the manager's current state.
+
+        Job-state gauges, the store hit rate (cached vs. executed
+        completions), store size, uptime, the global event sequence, and
+        the queued->running latency histogram.
+        """
+        registry = self.registry
+        stats = self.stats()
+        registry.gauge("service.jobs").set(stats["jobs"])
+        registry.gauge("service.jobs_queued").set(stats["queued"])
+        registry.gauge("service.jobs_running").set(stats["running"])
+        for state in _TERMINAL:
+            registry.gauge(f"service.jobs_{state}").set(self._counts[state])
+        registry.gauge("service.events_seq").set(self.events_seq)
+        registry.gauge("service.uptime_seconds").set(stats["uptime_seconds"])
+        hits = self._counts["cached"]
+        completed = hits + self._counts["done"]
+        if completed:
+            registry.gauge("service.store_hit_rate").set(hits / completed)
+        store_stats = self.store.stats()
+        registry.gauge("service.store_entries").set(store_stats.entries)
+        registry.gauge("service.store_bytes").set(store_stats.total_bytes)
+        return registry.render_prometheus()

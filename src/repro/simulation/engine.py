@@ -20,6 +20,7 @@ from ..network.fees import FeeFunction
 from ..network.graph import ChannelGraph
 from ..network.htlc import HtlcRouter, HtlcState
 from ..network.routing import PaymentRouteRng, Router
+from ..obs import ObsSession, default_session
 from ..transactions.workload import PoissonWorkload, Transaction
 from .events import (
     ChannelCloseEvent,
@@ -71,6 +72,7 @@ class SimulationEngine:
         payment_mode: str = "instant",
         htlc_hold_mean: float = 0.1,
         route_rng: str = "stream",
+        obs: Optional[ObsSession] = None,
     ) -> None:
         if payment_mode not in ("instant", "htlc"):
             raise SimulationError(
@@ -105,6 +107,10 @@ class SimulationEngine:
         self._now = 0.0
         self._payment_seq = 0
         self._handlers: Dict[Type[Event], Callable[[Event], None]] = {}
+        # Instrumentation handle (the shared no-op session by default);
+        # counters and trace events only — never the RNG, never the
+        # metrics, so obs-on and obs-off runs stay bit-identical.
+        self._obs = obs if obs is not None else default_session()
 
     @property
     def now(self) -> float:
@@ -259,7 +265,11 @@ class SimulationEngine:
         )
         if not outcome.success:
             metrics.failed += 1
-            metrics.failure_reasons[_classify_failure(outcome.failure_reason)] += 1
+            reason = _classify_failure(outcome.failure_reason)
+            metrics.failure_reasons[reason] += 1
+            obs = self._obs
+            if obs.enabled:
+                obs.registry.counter(f"payments.failed.{reason}").inc()
             return
         metrics.succeeded += 1
         metrics.volume_delivered += event.amount
@@ -303,6 +313,7 @@ class SimulationEngine:
             return
         payment = self._htlc_router.lock(route.nodes, event.amount)
         self._book_upfront_attempt(payment, event.sender)
+        obs = self._obs
         if payment.state is not HtlcState.PENDING:
             metrics.failed += 1
             reason = (
@@ -310,10 +321,24 @@ class SimulationEngine:
                 else "lock-contention"
             )
             metrics.failure_reasons[reason] += 1
+            if obs.enabled:
+                obs.registry.counter(f"htlc.lock_failed.{reason}").inc()
+                if reason == "no-htlc-slots":
+                    obs.registry.counter("htlc.slot_exhaustion").inc()
+                obs.event(
+                    "htlc.fail", t=event.time, reason=reason,
+                    hops=len(route.nodes) - 1,
+                )
             return
         metrics.htlc_locked_peak = max(
             metrics.htlc_locked_peak, self._htlc_router.locked_capital()
         )
+        if obs.enabled:
+            obs.registry.counter("htlc.locks").inc()
+            obs.event(
+                "htlc.lock", t=event.time,
+                payment_id=payment.payment_id, hops=len(route.nodes) - 1,
+            )
         self._pending_htlcs[payment.payment_id] = (payment, event)
         hold = float(self._hold_rng.exponential(self.htlc_hold_mean))
         self.schedule(
@@ -328,6 +353,12 @@ class SimulationEngine:
             )
         payment, origin = entry
         self._htlc_router.settle(payment)
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter("htlc.settles").inc()
+            obs.event(
+                "htlc.settle", t=event.time, payment_id=event.payment_id
+            )
         metrics = self.metrics
         metrics.succeeded += 1
         metrics.volume_delivered += origin.amount

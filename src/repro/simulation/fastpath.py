@@ -48,7 +48,7 @@ supports in :mod:`repro.scenarios.capabilities`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import (
     Callable,
     Dict,
@@ -80,6 +80,7 @@ from ..network.views import (
     GraphView,
     expand_frontier,
 )
+from ..obs import ObsSession, default_session
 from ..transactions.workload import (
     SELF_PAIR,
     UNKNOWN_ENDPOINT,
@@ -186,6 +187,7 @@ class BatchedSimulationEngine:
         htlc_hold_mean: float = 0.1,
         route_rng: str = "stream",
         epoch_size: int = DEFAULT_EPOCH_SIZE,
+        obs: Optional[ObsSession] = None,
     ) -> None:
         if payment_mode not in ("instant", "htlc"):
             raise SimulationError(
@@ -223,6 +225,12 @@ class BatchedSimulationEngine:
         self._route_base = self.seed % (2 ** 63)
         self.metrics = SimulationMetrics(seed=self.seed)
         self.stats = FastpathStats()
+        # Instrumentation handle: the shared no-op session unless the
+        # caller passed one or REPRO_OBS opted the process in. Timing
+        # and counters never touch the RNG or results above — obs-on
+        # and obs-off runs are bit-identical (tests/obs/test_parity.py).
+        self._obs = obs if obs is not None else default_session()
+        self._obs_published: Dict[str, int] = {}
         # Event-queue machinery, mirroring the event engine field for
         # field so attack extensions drive either backend unchanged. The
         # hold RNG derives from seed + 1 exactly like the event engine's,
@@ -281,6 +289,7 @@ class BatchedSimulationEngine:
         run.finalize()
         if len(trace):
             self.metrics.horizon = float(trace.times[-1])
+        self._publish_obs(run)
         return self.metrics
 
     # -- event-queue API (htlc mode, attack injection) ------------------------
@@ -378,6 +387,7 @@ class BatchedSimulationEngine:
             self._dispatch(event, state)
         self.metrics.horizon = until if until is not None else self._now
         state.write_back()
+        self._publish_obs(state)
         return self.metrics
 
     def _ensure_state(self) -> "_ArrayState":
@@ -470,6 +480,7 @@ class BatchedSimulationEngine:
             [nodes[i] for i in path], event.amount
         )
         self._book_upfront_attempt(payment, event.sender)
+        obs = self._obs
         if payment.state is not HtlcState.PENDING:
             metrics.failed += 1
             reason = (
@@ -477,10 +488,24 @@ class BatchedSimulationEngine:
                 else "lock-contention"
             )
             metrics.failure_reasons[reason] += 1
+            if obs.enabled:
+                obs.registry.counter(f"htlc.lock_failed.{reason}").inc()
+                if reason == "no-htlc-slots":
+                    obs.registry.counter("htlc.slot_exhaustion").inc()
+                obs.event(
+                    "htlc.fail", t=event.time, reason=reason,
+                    hops=len(path) - 1,
+                )
             return
         metrics.htlc_locked_peak = max(
             metrics.htlc_locked_peak, self._array_router.locked_capital()
         )
+        if obs.enabled:
+            obs.registry.counter("htlc.locks").inc()
+            obs.event(
+                "htlc.lock", t=event.time,
+                payment_id=payment.payment_id, hops=len(path) - 1,
+            )
         self._pending_htlcs[payment.payment_id] = (payment, event)
         hold = float(self._hold_rng.exponential(self.htlc_hold_mean))
         self.schedule(
@@ -495,6 +520,12 @@ class BatchedSimulationEngine:
             )
         payment, origin = entry
         self._array_router.settle(payment)
+        obs = self._obs
+        if obs.enabled:
+            obs.registry.counter("htlc.settles").inc()
+            obs.event(
+                "htlc.settle", t=event.time, payment_id=event.payment_id
+            )
         metrics = self.metrics
         metrics.succeeded += 1
         metrics.volume_delivered += origin.amount
@@ -581,6 +612,41 @@ class BatchedSimulationEngine:
         metrics.upfront_fees_paid[sender] += payment.upfront_total
         for node, fee in payment.upfront_fees_per_node.items():
             metrics.upfront_revenue[node] += fee
+
+    def _publish_obs(self, state: "_ArrayState") -> None:
+        """Fold :class:`FastpathStats` and the per-edge conflict counts
+        into the obs session (no-op when disabled).
+
+        Counters publish the *delta* since the last publish, so repeated
+        ``run()`` calls — and multiple engines sharing one session, like
+        an attack's baseline/attacked pair — accumulate instead of
+        overwriting each other. The ``stats`` attribute itself stays the
+        compat surface it always was.
+        """
+        obs = self._obs
+        if not obs.enabled:
+            return
+        registry = obs.registry
+        current = asdict(self.stats)
+        for name, value in current.items():
+            delta = value - self._obs_published.get(name, 0)
+            if delta:
+                registry.counter(f"fastpath.{name}").inc(delta)
+        self._obs_published = current
+        if state.conflict_counts is not None:
+            hot = np.nonzero(state.conflict_counts)[0]
+            if hot.size:
+                nodes = state.view.nodes
+                rows = state.entry_rows
+                cols = state.view.indices
+                obs.add_edge_conflicts(
+                    (
+                        (nodes[int(rows[entry])], nodes[int(cols[entry])]),
+                        int(state.conflict_counts[entry]),
+                    )
+                    for entry in hot
+                )
+                state.conflict_counts[hot] = 0
 
     # -- helpers --------------------------------------------------------------
 
@@ -773,6 +839,14 @@ class _ArrayState:
         self.log_len = 0
         self.masks: Dict[float, _MaskedState] = {}
         self.epoch_payments = 0
+        # Instrumentation (both None/off by default): per-entry counts
+        # of cache-invalidating flips under --profile, trace events for
+        # mask builds / tree hits / conflicts when a tracer is attached.
+        obs = engine._obs
+        self.tracer = obs.tracer
+        self.conflict_counts: Optional[np.ndarray] = (
+            np.zeros(self.m, dtype=np.int64) if obs.profile else None
+        )
 
     @staticmethod
     def _reverse_entries(view: GraphView) -> np.ndarray:
@@ -793,6 +867,10 @@ class _ArrayState:
         self.log_len = 0
         self.epoch_payments = 0
         self.engine.stats.epochs += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "fastpath.epoch_flush", epochs=self.engine.stats.epochs
+            )
 
     def _log_update(self, entry: int) -> None:
         if self.log_len == self.log.shape[0]:
@@ -820,6 +898,8 @@ class _ArrayState:
             state.log_pos = self.log_len
             self.masks[amount] = state
             self.engine.stats.mask_builds += 1
+            if self.tracer is not None:
+                self.tracer.event("fastpath.mask_build", amount=amount)
             return state
         # Re-insert on access: dict order doubles as the LRU order.
         self.masks.pop(amount)
@@ -849,6 +929,7 @@ class _ArrayState:
         frontier is intact) or an exact rebuild.
         """
         stats = self.engine.stats
+        tracer = self.tracer
         cached = state.trees.get(source)
         flips = state.flips_len
         if cached is not None:
@@ -859,6 +940,8 @@ class _ArrayState:
                 ):
                     state.trees[source] = (structure, flips)
                     stats.tree_hits += 1
+                    if tracer is not None:
+                        tracer.event("fastpath.tree_hit", source=source)
                     return structure
             else:
                 if built_at < flips:
@@ -867,12 +950,16 @@ class _ArrayState:
                 depth = int(structure.dist[target])
                 if 0 <= depth <= structure.valid_depth:
                     stats.tree_hits += 1
+                    if tracer is not None:
+                        tracer.event("fastpath.tree_hit", source=source)
                     return structure
                 if depth < 0 and structure.complete \
                         and structure.valid_depth == _DEPTH_INTACT:
                     # Unreachability is a whole-graph verdict: it only
                     # survives if no flip touched the DAG at all.
                     stats.tree_hits += 1
+                    if tracer is not None:
+                        tracer.event("fastpath.tree_hit", source=source)
                     return structure
                 if (
                     not structure.complete
@@ -889,8 +976,16 @@ class _ArrayState:
                     structure.valid_depth = _DEPTH_INTACT
                     state.trees[source] = (structure, flips)
                     stats.tree_hits += 1
+                    if tracer is not None:
+                        tracer.event(
+                            "fastpath.tree_hit", source=source, resumed=True
+                        )
                     return structure
             stats.conflicts += 1
+            if tracer is not None:
+                tracer.event(
+                    "fastpath.tree_conflict", source=source, target=target
+                )
         if self.small:
             adj = [
                 [pair for pair in row if state.keep[pair[1]]]
@@ -904,6 +999,8 @@ class _ArrayState:
             )
         state.trees[source] = (structure, flips)
         stats.tree_builds += 1
+        if tracer is not None:
+            tracer.event("fastpath.tree_build", source=source)
         return structure
 
     def _small_tree_valid(
@@ -924,6 +1021,7 @@ class _ArrayState:
         dist, _sigma, _preds = structure
         rows = self.entry_rows
         indices = self.view.indices
+        conflict_counts = self.conflict_counts
         for entry, now_feasible in zip(entries, feasible):
             du = dist[int(rows[entry])]
             dv = dist[int(indices[entry])]
@@ -931,8 +1029,12 @@ class _ArrayState:
                 continue
             if now_feasible:
                 if dv < 0 or dv >= du + 1:
+                    if conflict_counts is not None:
+                        conflict_counts[entry] += 1
                     return False
             elif dv == du + 1:
+                if conflict_counts is not None:
+                    conflict_counts[entry] += 1
                 return False
         return True
 
@@ -970,6 +1072,11 @@ class _ArrayState:
             structure.valid_depth = min(
                 structure.valid_depth, int(du[invalid].min())
             )
+            if self.conflict_counts is not None:
+                # Profiling: attribute the invalidation to the flipped
+                # edges (scatter-add; the same entry may flip repeatedly
+                # within one log window).
+                np.add.at(self.conflict_counts, entries[invalid], 1)
 
     # -- payment processing ---------------------------------------------------
 

@@ -1,4 +1,8 @@
-"""Fixture: every call below trips RPR005 (wall clock) only."""
+"""Fixture: every call below trips RPR005 (calendar clock) only.
+
+Calendar clocks exclusively — the timer family (monotonic,
+perf_counter) belongs to RPR009's fixture.
+"""
 
 import time
 from datetime import datetime
@@ -6,6 +10,6 @@ from datetime import datetime
 
 def stamp():
     started = time.time()
-    tick = time.perf_counter()
+    nanos = time.time_ns()
     now = datetime.now()
-    return started, tick, now
+    return started, nanos, now

@@ -1,0 +1,14 @@
+"""Fixture: trips RPR009 (timer reads outside repro.obs.clock) 3 times.
+
+Only timer-family calls — no calendar clocks — so RPR005 stays quiet
+and the fixture trips exactly one rule.
+"""
+
+import time
+
+
+def measure():
+    started = time.monotonic()  # finding 1
+    tick = time.perf_counter()  # finding 2
+    nanos = time.perf_counter_ns()  # finding 3
+    return started, tick, nanos

@@ -23,6 +23,7 @@ RULE_FIXTURES = [
     ("RPR006", "rpr006_registration.py", 2),
     ("RPR007", "rpr007_mutable.py", 3),
     ("RPR008", "rpr008_store_write.py", 3),
+    ("RPR009", "rpr009_clock.py", 3),
 ]
 
 

@@ -1,0 +1,56 @@
+"""The sanctioned clock: real/fake swap, restore discipline."""
+
+import pytest
+
+from repro.obs.clock import Clock, FakeClock, get_clock, monotonic, set_clock
+
+
+class TestRealClock:
+    def test_monotonic_never_goes_backwards(self):
+        clock = Clock()
+        readings = [clock.monotonic() for _ in range(5)]
+        assert readings == sorted(readings)
+
+    def test_module_monotonic_uses_installed_clock(self):
+        before = monotonic()
+        after = monotonic()
+        assert after >= before
+
+
+class TestFakeClock:
+    def test_starts_at_zero_and_only_moves_on_advance(self):
+        clock = FakeClock()
+        assert clock.monotonic() == 0.0
+        assert clock.monotonic() == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock.monotonic() == 1.5
+
+    def test_custom_start(self):
+        assert FakeClock(start=100.0).monotonic() == 100.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError, match="cannot advance"):
+            FakeClock().advance(-0.1)
+
+
+class TestSetClock:
+    def test_install_and_restore_round_trip(self):
+        fake = FakeClock(start=10.0)
+        previous = set_clock(fake)
+        try:
+            assert get_clock() is fake
+            assert monotonic() == 10.0
+            fake.advance(2.0)
+            assert monotonic() == 12.0
+        finally:
+            set_clock(previous)
+        assert get_clock() is previous
+
+    def test_none_restores_a_real_clock(self):
+        previous = set_clock(FakeClock())
+        try:
+            set_clock(None)
+            assert isinstance(get_clock(), Clock)
+            assert not isinstance(get_clock(), FakeClock)
+        finally:
+            set_clock(previous)

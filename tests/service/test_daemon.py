@@ -139,6 +139,22 @@ class TestSubmitAndCache:
         assert stats["queue"]["jobs"] >= 1
         assert stats["store"]["entries"] >= 1
 
+    def test_stats_expose_restart_detection_fields(self, server):
+        before = server.stats()["queue"]
+        server.submit(scenario().to_dict(), wait=True)
+        after = server.stats()["queue"]
+        assert after["started_at_monotonic"] == before["started_at_monotonic"]
+        assert after["events_seq"] > before["events_seq"]
+        assert after["uptime_seconds"] >= before["uptime_seconds"]
+
+    def test_metrics_verb_serves_prometheus_text(self, server):
+        server.submit(scenario().to_dict(), wait=True)
+        text = server.metrics()
+        assert "# TYPE repro_service_jobs gauge" in text
+        assert "repro_service_jobs " in text
+        assert "repro_service_store_entries" in text
+        assert "repro_service_queue_latency_seconds_count" in text
+
 
 class TestSweep:
     def test_sweep_rows_match_local_run_sweep(self, server):

@@ -1,0 +1,159 @@
+"""Service observability: stats sequencing, restart detection, metrics verb."""
+
+import asyncio
+
+from repro.obs.clock import FakeClock, set_clock
+from repro.scenarios.specs import Scenario, TopologySpec
+from repro.service.queue import JobManager
+from repro.service.store import ResultStore
+
+
+def doc(seed=7):
+    return Scenario(
+        name="obs-test",
+        topology=TopologySpec("star", {"leaves": 3}),
+        seed=seed,
+    ).to_dict()
+
+
+def fake_execute(document):
+    return {"row": {"seed": document["seed"]}}
+
+
+def manager(tmp_path, **kwargs):
+    kwargs.setdefault("worker", "inline")
+    kwargs.setdefault("execute", fake_execute)
+    return JobManager(store=ResultStore(tmp_path / "store"), **kwargs)
+
+
+class TestStats:
+    def test_stats_carry_uptime_and_event_sequence(self, tmp_path):
+        async def main():
+            mgr = manager(tmp_path)
+            stats = mgr.stats()
+            assert stats["events_seq"] == 0
+            assert stats["uptime_seconds"] >= 0.0
+            assert stats["started_at_monotonic"] <= (
+                stats["started_at_monotonic"] + stats["uptime_seconds"]
+            )
+            await mgr.close()
+
+        asyncio.run(main())
+
+    def test_events_seq_grows_globally_while_job_seq_stays_local(
+        self, tmp_path
+    ):
+        async def main():
+            mgr = manager(tmp_path)
+            first = mgr.submit(doc(seed=1))
+            await first.result()
+            second = mgr.submit(doc(seed=2))
+            await second.result()
+            # each job emits queued/running/done: per-job seq restarts...
+            assert [e["seq"] for e in first.events] == [0, 1, 2]
+            assert [e["seq"] for e in second.events] == [0, 1, 2]
+            # ...while the manager-wide sequence keeps counting
+            assert mgr.stats()["events_seq"] == 6
+            await mgr.close()
+
+        asyncio.run(main())
+
+    def test_cached_hits_also_advance_events_seq(self, tmp_path):
+        async def main():
+            mgr = manager(tmp_path)
+            await mgr.submit(doc()).result()
+            before = mgr.stats()["events_seq"]
+            job = mgr.submit(doc())  # store hit: queued + cached events
+            await job.result()
+            assert job.state == "cached"
+            assert mgr.stats()["events_seq"] == before + 2
+            await mgr.close()
+
+        asyncio.run(main())
+
+    def test_restart_resets_sequence_and_start_instant(self, tmp_path):
+        fake = FakeClock(start=100.0)
+        previous = set_clock(fake)
+        try:
+
+            async def main():
+                mgr = manager(tmp_path)
+                await mgr.submit(doc()).result()
+                assert mgr.stats()["events_seq"] > 0
+                await mgr.close()
+
+                fake.advance(50.0)
+                reborn = manager(tmp_path)
+                stats = reborn.stats()
+                # the polling-client restart signal: events_seq went
+                # backwards and the start instant changed
+                assert stats["events_seq"] == 0
+                assert (
+                    stats["started_at_monotonic"]
+                    > mgr.stats()["started_at_monotonic"]
+                )
+                await reborn.close()
+
+            asyncio.run(main())
+        finally:
+            set_clock(previous)
+
+
+class TestQueueLatencyHistogram:
+    def test_queued_to_running_latency_observed_once(self, tmp_path):
+        fake = FakeClock()
+        previous = set_clock(fake)
+        try:
+
+            async def main():
+                mgr = manager(tmp_path)
+                job = mgr.submit(doc())
+                # the job is queued but its task has not run yet; fake
+                # time passing before the loop picks it up is pure
+                # queue latency
+                fake.advance(0.5)
+                await job.result()
+                histogram = mgr.registry.histogram(
+                    "service.queue_latency_seconds"
+                )
+                assert histogram.count == 1
+                assert histogram.sum == 0.5
+                await mgr.close()
+
+            asyncio.run(main())
+        finally:
+            set_clock(previous)
+
+    def test_cached_jobs_never_reach_the_latency_histogram(self, tmp_path):
+        async def main():
+            mgr = manager(tmp_path)
+            await mgr.submit(doc()).result()
+            count_after_run = mgr.registry.histogram(
+                "service.queue_latency_seconds"
+            ).count
+            await mgr.submit(doc()).result()  # cached: never "running"
+            assert mgr.registry.histogram(
+                "service.queue_latency_seconds"
+            ).count == count_after_run
+            await mgr.close()
+
+        asyncio.run(main())
+
+
+class TestPrometheusExposition:
+    def test_render_covers_jobs_store_and_latency(self, tmp_path):
+        async def main():
+            mgr = manager(tmp_path)
+            await mgr.submit(doc(seed=1)).result()
+            await mgr.submit(doc(seed=1)).result()  # store hit
+            text = mgr.render_prometheus()
+            assert "# TYPE repro_service_jobs gauge" in text
+            assert "repro_service_jobs_done 1" in text
+            assert "repro_service_jobs_cached 1" in text
+            assert "repro_service_store_hit_rate 0.5" in text
+            assert "repro_service_store_entries 1" in text
+            assert "repro_service_events_seq" in text
+            assert "repro_service_queue_latency_seconds_count 1" in text
+            await mgr.close()
+
+        asyncio.run(main())

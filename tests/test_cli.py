@@ -321,3 +321,62 @@ class TestEvolve:
         assert "topology emergence under evolution" in out
         for topology in ("star", "path", "circle"):
             assert topology in out
+
+
+class TestObservability:
+    def test_simulate_trace_out_writes_jsonl_and_leaves_output_unchanged(
+        self, tmp_path, capsys
+    ):
+        argv = ["simulate", "--nodes", "15", "--horizon", "3", "--seed", "5"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(argv + ["--trace-out", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain  # tracing never changes results
+        assert "trace records" in captured.err
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert records[0]["type"] == "meta"
+        assert any(r.get("name") == "phase" for r in records)
+
+    def test_run_scenario_profile_prints_hotspots(self, tmp_path, capsys):
+        scen = write_scenario(tmp_path / "scen.json", algorithm=None)
+        code = main(["run-scenario", str(scen), "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall time" in out
+
+    def test_profile_command_emits_report_telemetry_and_trace(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import RunTelemetry
+
+        scen = write_scenario(
+            tmp_path / "scen.json",
+            algorithm=None,
+            simulation={"horizon": 3.0, "backend": "batched"},
+        )
+        telemetry_path = tmp_path / "telemetry.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main([
+            "profile", str(scen), "--top", "5",
+            "--output", str(telemetry_path), "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "per-phase wall time" in captured.out
+        assert "cache / conflict rates" in captured.out
+        assert "trace records" in captured.err
+        telemetry = RunTelemetry.from_json(telemetry_path.read_text())
+        assert telemetry.counters["fastpath.payments"] > 0
+        assert trace_path.exists()
+
+    def test_profile_matches_plain_run_results(self, tmp_path, capsys):
+        scen = write_scenario(tmp_path / "scen.json", algorithm=None)
+        assert main(["run-scenario", str(scen)]) == 0
+        plain = capsys.readouterr().out
+        assert main(["profile", str(scen)]) == 0
+        profiled = capsys.readouterr().out
+        # the summary line is shared verbatim between the two commands
+        assert plain.splitlines()[0] == profiled.splitlines()[0]

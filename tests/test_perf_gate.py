@@ -145,7 +145,7 @@ class TestCli:
 
     def test_gate_accepts_committed_baselines(self):
         """The committed BENCH files gate cleanly against themselves."""
-        for name in ("graphcore", "attacks", "simulation"):
+        for name in ("graphcore", "attacks", "simulation", "obs"):
             path = REPO / f"BENCH_{name}.json"
             if not path.exists():
                 pytest.skip(f"{path.name} not committed yet")
@@ -178,3 +178,43 @@ class TestEvolutionBenchmark:
             (row["n"],) for row in committed["results"]
         }
         assert smoke_keys <= baseline_keys
+
+
+class TestObsBenchmark:
+    def test_registered_with_relative_ratio_floor(self):
+        key_fields, relative, absolute = gate.BENCHMARKS["obs"]
+        assert key_fields == ("n",)
+        # throughput_ratio (obs-on / obs-off, same machine) is the
+        # hardware-independent overhead budget; raw off-throughput only
+        # guards order-of-magnitude collapses.
+        assert relative == ("throughput_ratio",)
+        assert absolute == ("payments_per_sec_off",)
+
+    def test_gates_overhead_ratio(self):
+        baseline = doc("obs", [
+            {"n": 200, "throughput_ratio": 1.0,
+             "payments_per_sec_off": 5000.0},
+        ])
+        ok = doc("obs", [
+            {"n": 200, "throughput_ratio": 0.95,
+             "payments_per_sec_off": 4000.0},
+        ])
+        assert gate.check_floors(ok, baseline, 0.90, 0.1) == []
+        slow = doc("obs", [
+            {"n": 200, "throughput_ratio": 0.5,
+             "payments_per_sec_off": 4000.0},
+        ])
+        failures = gate.check_floors(slow, baseline, 0.90, 0.1)
+        assert len(failures) == 1
+        assert "throughput_ratio" in failures[0]
+
+    def test_committed_baseline_matches_smoke_keys(self):
+        path = REPO / "BENCH_obs.json"
+        if not path.exists():
+            pytest.skip("BENCH_obs.json not committed yet")
+        committed = json.loads(path.read_text())
+        assert committed["benchmark"] == "obs"
+        baseline_keys = {(row["n"],) for row in committed["results"]}
+        assert {(200,)} <= baseline_keys  # the CI smoke case
+        for row in committed["results"]:
+            assert row["parity_identical"] is True
